@@ -1,0 +1,31 @@
+# Convenience targets for the plan-bouquet reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples all clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments: bench
+	$(PYTHON) benchmarks/assemble_experiments.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/etl_unknown_stats.py
+	$(PYTHON) examples/robust_dashboard.py
+	$(PYTHON) examples/strategy_faceoff.py
+	$(PYTHON) examples/canned_query_service.py
+	$(PYTHON) examples/plan_diagram_gallery.py
+
+all: test experiments examples
+
+clean:
+	rm -rf .pytest_cache .benchmarks results/*.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,6 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, fn):
+    """Run a heavyweight experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

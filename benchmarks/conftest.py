@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`~repro.bench.harness.Lab` is shared across every benchmark in
+the session, so databases, plan diagrams, and bouquets are built once.
+Each benchmark prints the rows/series of the paper artifact it reproduces
+and appends them to ``results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import Lab
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a rendered experiment report to results/<exp>.txt and stdout."""
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(exp_id: str, text: str):
+        path = os.path.join(RESULTS_DIR, f"{exp_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,73 @@
+"""Figure 19 — the bouquet on a commercial engine ("COM").
+
+The paper validated engine-independence on a commercial DBMS whose API
+only allows steering selectivities through query constants, hence the
+selection-dimension variants 3D_H_Q5b and 4D_H_Q8b.  Here COM is a
+second optimizer configuration (different cost constants, merge join
+disabled) over the same data.
+
+Paper shapes: NAT/SEER remain poor, BOU keeps MSO/ASO small with a small
+bouquet, and no harm is incurred.
+"""
+
+from _bench_utils import run_once
+from repro.bench.harness import Lab
+from repro.bench.reporting import format_table
+from repro.core import basic_cost_field
+from repro.optimizer import COMMERCIAL_COST_MODEL
+from repro.robustness import bouquet_aso, bouquet_mso, harm_fraction, max_harm
+
+COM_QUERIES = ["3D_H_Q5b", "4D_H_Q8b"]
+
+
+def build(base_lab):
+    com_lab = Lab(cost_model=COMMERCIAL_COST_MODEL)
+    rows = []
+    for name in COM_QUERIES:
+        ql = com_lab.build(name)
+        field = ql.bouquet_cost_field
+        rows.append(
+            (
+                name,
+                ql.nat.mso(),
+                ql.seer.mso(),
+                bouquet_mso(field, ql.pic),
+                ql.nat.aso(),
+                bouquet_aso(field, ql.pic),
+                ql.bouquet.cardinality,
+                max_harm(field, ql.pic, ql.nat.subopt_worst()),
+            )
+        )
+    return rows
+
+
+def test_fig19_commercial_engine(benchmark, lab, record):
+    rows = run_once(benchmark, lambda: build(lab))
+    table = format_table(
+        [
+            "error space",
+            "NAT MSO",
+            "SEER MSO",
+            "BOU MSO",
+            "NAT ASO",
+            "BOU ASO",
+            "|B|",
+            "BOU MaxHarm",
+        ],
+        rows,
+        title="Figure 19 — commercial engine (COM cost model)",
+    )
+    record("fig19_commercial", table)
+
+    for name, nat_mso, seer_mso, bou_mso, nat_aso, bou_aso, card, mh in rows:
+        # The earlier observations are not artifacts of one engine: BOU
+        # improves on NAT's MSO by orders of magnitude, SEER stays near
+        # NAT, the bouquet stays small, and harm remains bounded.  These
+        # selection-dimension spaces span the full [0.01%, 100%] range
+        # (four decades per dim), so the bouquet is somewhat larger and
+        # harm somewhat higher than on the Table 2 join spaces.
+        assert bou_mso < nat_mso / 100, name
+        assert seer_mso > nat_mso / 20, name
+        assert card <= 20, name
+        assert bou_aso < 8.0, name
+        assert mh <= 4.0, name

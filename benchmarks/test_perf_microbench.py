@@ -1,0 +1,86 @@
+"""Performance microbenchmarks for the hot kernels.
+
+Unlike the experiment benches (one-shot regenerations of paper tables),
+these run multiple rounds and exist to catch performance regressions in
+the four kernels everything else is built from: a single optimizer call,
+abstract plan costing, the vectorized grid cost field, and engine
+execution throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import basic_cost_field, simulate_at
+from repro.executor import ExecutionEngine
+from repro.optimizer import actual_selectivities, cost_plan
+
+
+@pytest.fixture(scope="module")
+def env(lab):
+    ql = lab.build("3D_H_Q5")
+    eq = lab.build("EQ")
+    return lab, ql, eq
+
+
+def test_perf_optimizer_call(benchmark, env):
+    """One DP optimization of a 6-relation chain query."""
+    lab, ql, _ = env
+    query = ql.workload.query
+    assignment = ql.space.assignment_at((8, 8, 8))
+    optimizer = lab.h_optimizer
+
+    result = benchmark(lambda: optimizer.optimize(query, assignment=assignment))
+    assert result.cost > 0
+
+
+def test_perf_abstract_plan_costing(benchmark, env):
+    """Costing one plan at one selectivity point."""
+    lab, ql, _ = env
+    plan = ql.diagram.registry.plan(ql.diagram.posp_plan_ids[0])
+    assignment = ql.space.assignment_at((4, 4, 4))
+
+    est = benchmark(
+        lambda: cost_plan(plan, lab.h_schema, lab.h_optimizer.cost_model, assignment)
+    )
+    assert est.cost > 0
+
+
+def test_perf_vectorized_cost_field(benchmark, env):
+    """One plan costed over the whole 16^3 ESS grid in a single pass."""
+    lab, ql, _ = env
+    cache = ql.diagram.cache
+    plan_id = ql.diagram.posp_plan_ids[0]
+
+    def kernel():
+        cache._arrays.pop(plan_id, None)  # defeat the memo
+        return cache.cost_array(plan_id)
+
+    array = benchmark(kernel)
+    assert array.shape == ql.space.shape
+
+
+def test_perf_basic_field_sweep(benchmark, env):
+    """The full basic-bouquet cost field over the 3D grid."""
+    _, ql, _ = env
+    field = benchmark(lambda: basic_cost_field(ql.bouquet))
+    assert field.shape == ql.space.shape
+
+
+def test_perf_optimized_simulation(benchmark, env):
+    """One optimized-mode bouquet discovery (cost-model world)."""
+    _, ql, _ = env
+    location = tuple(s - 2 for s in ql.space.shape)
+    result = benchmark(lambda: simulate_at(ql.bouquet, location, "optimized"))
+    assert result.completed
+
+
+def test_perf_engine_hash_join(benchmark, env):
+    """Real execution of the EQ hash-join pipeline (~18k-row lineitem)."""
+    lab, _, eq = env
+    query = eq.workload.query
+    truth = actual_selectivities(query, lab.h_db)
+    plan = lab.h_optimizer.optimize(query, assignment=truth).plan
+    engine = ExecutionEngine(lab.h_db)
+
+    result = benchmark(lambda: engine.execute(query, plan))
+    assert result.completed

@@ -1,0 +1,46 @@
+"""Plan-diagram gallery: visualizing the geometry behind the bouquet.
+
+Renders, in plain ASCII:
+
+* the 1D EQ example's PIC with its POSP plan regions (Figure 3's layout);
+* the 2D_H_Q8a plan diagram with the isocost contour frontiers overlaid
+  (Figure 6's geometry: hyperbolic-ish contours with different plans on
+  disjoint segments);
+* a 2D slice of a 3D error space.
+
+Run:  python examples/plan_diagram_gallery.py
+"""
+
+from repro import Lab
+from repro.core.contours import contour_costs
+from repro.ess import render_1d_profile, render_2d_diagram, render_slice
+
+
+def main():
+    lab = Lab(resolutions={1: 64, 2: 24, 3: 10})
+
+    eq = lab.build("EQ")
+    print("=== EQ (1D): the PIC and its POSP plan regions ===")
+    print(render_1d_profile(eq.diagram, width=64, height=12))
+    print()
+
+    q8a = lab.build("2D_H_Q8a")
+    ics = contour_costs(q8a.diagram.cmin, q8a.diagram.cmax, 2.0)
+    print("=== 2D_H_Q8a: plan regions + isocost contour frontiers ===")
+    print(render_2d_diagram(q8a.diagram, contour_costs=ics))
+    print()
+    bouquet = q8a.bouquet
+    print(
+        f"the bouquet keeps {bouquet.cardinality} of "
+        f"{len(q8a.diagram.posp_plan_ids)} POSP plans "
+        f"(those on the * frontiers, after anorexic reduction)"
+    )
+    print()
+
+    q96 = lab.build("3D_DS_Q96")
+    print("=== 3D_DS_Q96: a 2D slice (third dimension pinned) ===")
+    print(render_slice(q96.diagram, axes=(0, 1), fixed={2: q96.space.shape[2] // 2}))
+
+
+if __name__ == "__main__":
+    main()

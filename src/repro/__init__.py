@@ -1,0 +1,113 @@
+"""repro — Plan Bouquets: query processing without selectivity estimation.
+
+A complete reproduction of Dutt & Haritsa, SIGMOD 2014, including every
+substrate the paper depends on: a cost-based optimizer with selectivity
+injection, an instrumented budget-limited execution engine, synthetic
+TPC-H / TPC-DS environments, POSP/plan-diagram machinery, anorexic
+reduction, and the NAT/SEER baselines.
+
+Typical usage::
+
+    from repro import Lab, identify_bouquet, simulate_at
+
+    lab = Lab()
+    ql = lab.build("3D_H_Q5")          # ESS + plan diagram + bouquet
+    result = simulate_at(ql.bouquet, qa_location=(4, 7, 2))
+    print(result.total_cost / ql.diagram.cost_at((4, 7, 2)))  # sub-optimality
+"""
+
+from .bench.harness import Lab, QueryLab, shared_lab
+from .catalog import tpcds_schema, tpch_schema
+from .core import (
+    BouquetRunner,
+    PlanBouquet,
+    basic_cost_field,
+    identify_bouquet,
+    mso_bound_1d,
+    mso_bound_multid,
+    simulate_at,
+)
+from .core.advisor import ProcessingMode, Recommendation, recommend_processing_mode
+from .core.maintenance import RefreshResult, refresh_bouquet
+from .core.runtime import AbstractExecutionService
+from .core.session import BouquetSession, CompiledQuery
+from .core.validation import ValidationReport, validate_bouquet
+from .datagen import Database
+from .ess import ErrorDimension, PlanDiagram, SelectivitySpace
+from .exceptions import (
+    BouquetError,
+    BudgetExceeded,
+    CatalogError,
+    EssError,
+    ExecutionError,
+    OptimizerError,
+    QueryError,
+    ReproError,
+)
+from .executor import ExecutionEngine, RealExecutionService
+from .optimizer import (
+    COMMERCIAL_COST_MODEL,
+    POSTGRES_COST_MODEL,
+    Optimizer,
+    actual_selectivities,
+    estimate_selectivities,
+)
+from .query import JoinPredicate, Query, SelectionPredicate, parse_query
+from .query.workload import TABLE2_NAMES, WorkloadQuery, full_workload
+from .robustness import NativeOptimizerStrategy, ReoptStrategy, SeerStrategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Lab",
+    "QueryLab",
+    "shared_lab",
+    "tpcds_schema",
+    "tpch_schema",
+    "BouquetRunner",
+    "PlanBouquet",
+    "basic_cost_field",
+    "identify_bouquet",
+    "mso_bound_1d",
+    "mso_bound_multid",
+    "simulate_at",
+    "AbstractExecutionService",
+    "Database",
+    "ErrorDimension",
+    "PlanDiagram",
+    "SelectivitySpace",
+    "BouquetError",
+    "BudgetExceeded",
+    "CatalogError",
+    "EssError",
+    "ExecutionError",
+    "OptimizerError",
+    "QueryError",
+    "ReproError",
+    "ExecutionEngine",
+    "RealExecutionService",
+    "COMMERCIAL_COST_MODEL",
+    "POSTGRES_COST_MODEL",
+    "Optimizer",
+    "actual_selectivities",
+    "estimate_selectivities",
+    "JoinPredicate",
+    "Query",
+    "SelectionPredicate",
+    "parse_query",
+    "ProcessingMode",
+    "Recommendation",
+    "recommend_processing_mode",
+    "RefreshResult",
+    "refresh_bouquet",
+    "BouquetSession",
+    "CompiledQuery",
+    "TABLE2_NAMES",
+    "WorkloadQuery",
+    "full_workload",
+    "NativeOptimizerStrategy",
+    "ReoptStrategy",
+    "SeerStrategy",
+    "ValidationReport",
+    "validate_bouquet",
+]

@@ -1,0 +1,14 @@
+"""Benchmark harness: shared lab environment and reporting helpers."""
+
+from .harness import DEFAULT_RESOLUTIONS, Lab, QueryLab, shared_lab
+from .reporting import format_series, format_table, log_bar
+
+__all__ = [
+    "DEFAULT_RESOLUTIONS",
+    "Lab",
+    "QueryLab",
+    "shared_lab",
+    "format_series",
+    "format_table",
+    "log_bar",
+]

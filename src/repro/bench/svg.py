@@ -1,0 +1,265 @@
+"""Minimal pure-Python SVG plotting, for regenerating the paper's figures.
+
+No third-party plotting dependency is available offline, so this module
+provides exactly what the figures need: log-log line/step charts with
+legends (Figures 3/4), grouped log-scale bar charts (Figures 14-18), and
+2D cell maps (plan diagrams).  Output is standalone SVG.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A colour cycle that stays readable on white.
+PALETTE = [
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+    "#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2",
+    "#1f3b66", "#a33b3b", "#3a7a3a", "#6b4f8f", "#b8860b",
+]
+
+
+class SvgCanvas:
+    """Accumulates SVG elements within a fixed viewport."""
+
+    def __init__(self, width: int = 640, height: int = 420):
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def add(self, element: str):
+        self._elements.append(element)
+
+    def line(self, x1, y1, x2, y2, color="#555", width=1.0, dash: Optional[str] = None):
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.add(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], color: str, width=2.0):
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.add(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" stroke-linejoin="round"/>'
+        )
+
+    def rect(self, x, y, w, h, fill, stroke="none", opacity=1.0, title: Optional[str] = None):
+        body = (
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}" opacity="{opacity:g}">'
+        )
+        if title:
+            body += f"<title>{_escape(title)}</title>"
+        self.add(body + "</rect>")
+
+    def circle(self, x, y, r, fill):
+        self.add(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{fill}"/>')
+
+    def text(self, x, y, content, size=11, anchor="start", color="#222", rotate=None):
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self.add(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="Helvetica, Arial, sans-serif" text-anchor="{anchor}" '
+            f'fill="{color}"{transform}>{_escape(content)}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str):
+        with open(path, "w") as handle:
+            handle.write(self.render())
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Axes helpers
+# ---------------------------------------------------------------------------
+
+_MARGIN = dict(left=70, right=20, top=40, bottom=55)
+
+
+class _LogLogAxes:
+    def __init__(self, canvas: SvgCanvas, x_range, y_range, title, x_label, y_label):
+        self.canvas = canvas
+        self.x0 = _MARGIN["left"]
+        self.x1 = canvas.width - _MARGIN["right"]
+        self.y0 = canvas.height - _MARGIN["bottom"]
+        self.y1 = _MARGIN["top"]
+        self.lx = (math.log10(x_range[0]), math.log10(x_range[1]))
+        self.ly = (math.log10(y_range[0]), math.log10(y_range[1]))
+        canvas.text(canvas.width / 2, 20, title, size=13, anchor="middle")
+        canvas.text(canvas.width / 2, canvas.height - 12, x_label, anchor="middle")
+        canvas.text(16, canvas.height / 2, y_label, anchor="middle", rotate=-90)
+        canvas.line(self.x0, self.y0, self.x1, self.y0)
+        canvas.line(self.x0, self.y0, self.x0, self.y1)
+        self._ticks()
+
+    def _ticks(self):
+        for exp in range(math.floor(self.lx[0]), math.floor(self.lx[1]) + 1):
+            x = self.px(10.0**exp)
+            if self.x0 <= x <= self.x1:
+                self.canvas.line(x, self.y0, x, self.y0 + 4)
+                self.canvas.text(x, self.y0 + 16, f"1e{exp}", size=9, anchor="middle")
+        for exp in range(math.floor(self.ly[0]), math.floor(self.ly[1]) + 1):
+            y = self.py(10.0**exp)
+            if self.y1 <= y <= self.y0:
+                self.canvas.line(self.x0 - 4, y, self.x0, y)
+                self.canvas.text(self.x0 - 8, y + 3, f"1e{exp}", size=9, anchor="end")
+                self.canvas.line(self.x0, y, self.x1, y, color="#eee")
+
+    def px(self, x: float) -> float:
+        f = (math.log10(x) - self.lx[0]) / max(self.lx[1] - self.lx[0], 1e-12)
+        return self.x0 + f * (self.x1 - self.x0)
+
+    def py(self, y: float) -> float:
+        f = (math.log10(y) - self.ly[0]) / max(self.ly[1] - self.ly[0], 1e-12)
+        return self.y0 - f * (self.y0 - self.y1)
+
+
+def _legend(canvas: SvgCanvas, entries: List[Tuple[str, str]], x=None, y=None):
+    x = x if x is not None else _MARGIN["left"] + 10
+    y = y if y is not None else _MARGIN["top"] + 8
+    for i, (label, color) in enumerate(entries):
+        yy = y + i * 15
+        canvas.rect(x, yy - 8, 10, 10, fill=color)
+        canvas.text(x + 15, yy, label, size=10)
+
+
+# ---------------------------------------------------------------------------
+# Figure-level plots
+# ---------------------------------------------------------------------------
+
+
+def loglog_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    hlines: Optional[Sequence[float]] = None,
+    width: int = 640,
+    height: int = 420,
+) -> SvgCanvas:
+    """A log-log multi-series line chart (Figures 3 and 4's layout).
+
+    ``series`` maps label -> (xs, ys); ``hlines`` draws dashed horizontal
+    guides (the isocost steps of Figure 3).
+    """
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    if hlines:
+        ys_all = list(ys_all) + list(hlines)
+    canvas = SvgCanvas(width, height)
+    axes = _LogLogAxes(
+        canvas,
+        (min(xs_all), max(xs_all)),
+        (min(ys_all) * 0.8, max(ys_all) * 1.2),
+        title,
+        x_label,
+        y_label,
+    )
+    for level in hlines or ():
+        y = axes.py(level)
+        canvas.line(axes.x0, y, axes.x1, y, color="#999", dash="5,4")
+    entries = []
+    for i, (label, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = [(axes.px(x), axes.py(y)) for x, y in zip(xs, ys)]
+        canvas.polyline(points, color)
+        entries.append((label, color))
+    _legend(canvas, entries)
+    return canvas
+
+
+def grouped_log_bars(
+    categories: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str,
+    y_label: str,
+    width: int = 720,
+    height: int = 420,
+) -> SvgCanvas:
+    """Grouped bar chart with a log y axis (Figures 14/15/18's layout)."""
+    canvas = SvgCanvas(width, height)
+    values = [v for vs in series.values() for v in vs if v > 0]
+    axes = _LogLogAxes(
+        canvas,
+        (1.0, 10.0),  # x is categorical; the log x scale is unused
+        (min(values) * 0.8, max(values) * 1.3),
+        title,
+        "",
+        y_label,
+    )
+    n_cat = len(categories)
+    n_series = len(series)
+    slot = (axes.x1 - axes.x0) / max(n_cat, 1)
+    bar = slot * 0.8 / max(n_series, 1)
+    entries = []
+    for s_idx, (label, vals) in enumerate(series.items()):
+        color = PALETTE[s_idx % len(PALETTE)]
+        entries.append((label, color))
+        for c_idx, value in enumerate(vals):
+            if value <= 0:
+                continue
+            x = axes.x0 + c_idx * slot + slot * 0.1 + s_idx * bar
+            y = axes.py(value)
+            canvas.rect(
+                x, y, bar * 0.92, axes.y0 - y, fill=color,
+                title=f"{categories[c_idx]} {label}: {value:.3g}",
+            )
+    for c_idx, category in enumerate(categories):
+        x = axes.x0 + (c_idx + 0.5) * slot
+        canvas.text(x, axes.y0 + 16, category, size=8, anchor="middle", rotate=-30)
+    _legend(canvas, entries, x=axes.x1 - 130)
+    return canvas
+
+
+def diagram_map(
+    plan_ids,
+    title: str,
+    contour_cells: Optional[set] = None,
+    width: int = 520,
+    height: int = 520,
+) -> SvgCanvas:
+    """2D plan-diagram cell map (Figure 6's geometry), dimension 0 upward."""
+    rows, cols = plan_ids.shape
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 20, title, size=13, anchor="middle")
+    x0, y0 = 40, 40
+    cell_w = (width - 60) / cols
+    cell_h = (height - 80) / rows
+    distinct = sorted({int(p) for p in plan_ids.ravel()})
+    color_of = {p: PALETTE[i % len(PALETTE)] for i, p in enumerate(distinct)}
+    for i in range(rows):
+        for j in range(cols):
+            x = x0 + j * cell_w
+            y = y0 + (rows - 1 - i) * cell_h
+            plan = int(plan_ids[i, j])
+            canvas.rect(
+                x, y, cell_w + 0.5, cell_h + 0.5, fill=color_of[plan],
+                title=f"({i},{j}) P{plan}",
+            )
+            if contour_cells and (i, j) in contour_cells:
+                canvas.circle(x + cell_w / 2, y + cell_h / 2, min(cell_w, cell_h) / 5, "black")
+    # Horizontal legend strip along the bottom edge.
+    lx = x0
+    for p in distinct[:12]:
+        canvas.rect(lx, height - 26, 10, 10, fill=color_of[p])
+        canvas.text(lx + 13, height - 17, f"P{p}", size=9)
+        lx += 48
+    if contour_cells:
+        canvas.circle(lx + 5, height - 21, 4, "black")
+        canvas.text(lx + 13, height - 17, "contour", size=9)
+    return canvas

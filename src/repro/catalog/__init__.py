@@ -1,0 +1,23 @@
+"""Catalog: schemas, statistics, and benchmark schema definitions."""
+
+from .schema import Column, ForeignKey, IndexInfo, Schema, Table
+from .statistics import ColumnStatistics, DatabaseStatistics, TableStatistics
+from .tpch import tpch_generator_spec, tpch_row_counts, tpch_schema
+from .tpcds import tpcds_generator_spec, tpcds_row_counts, tpcds_schema
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "IndexInfo",
+    "Schema",
+    "Table",
+    "ColumnStatistics",
+    "DatabaseStatistics",
+    "TableStatistics",
+    "tpch_generator_spec",
+    "tpch_row_counts",
+    "tpch_schema",
+    "tpcds_generator_spec",
+    "tpcds_row_counts",
+    "tpcds_schema",
+]

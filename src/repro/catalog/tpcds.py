@@ -1,0 +1,317 @@
+"""TPC-DS style schema (decision-support subset) and generator spec.
+
+We model the subset of TPC-DS touched by the paper's workload queries
+(Q7, Q15, Q19, Q26, Q91, Q96): the ``store_sales`` and ``catalog_sales``
+fact tables plus the dimensions they star/branch into.  Cardinalities
+follow TPC-DS proportions at a configurable scale factor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..datagen.generators import (
+    ColumnGenerator,
+    DictionaryString,
+    ForeignKeyRef,
+    SequentialKey,
+    UniformFloat,
+    UniformInt,
+)
+from .schema import Column, ForeignKey, Schema, Table
+
+#: Approximate TPC-DS cardinalities at scale factor 1 (1GB).
+_SF1_ROWS = {
+    "date_dim": 73_049,
+    "time_dim": 86_400,
+    "item": 18_000,
+    "store": 12,
+    "customer": 100_000,
+    "customer_address": 50_000,
+    "customer_demographics": 19_208,
+    "household_demographics": 7_200,
+    "promotion": 300,
+    "call_center": 6,
+    "catalog_sales": 1_441_548,
+    "store_sales": 2_880_404,
+    "web_sales": 719_384,
+}
+
+#: Dimension tables that stay fixed-size across scale factors.
+_FIXED_TABLES = {
+    "date_dim",
+    "time_dim",
+    "store",
+    "customer_demographics",
+    "household_demographics",
+    "promotion",
+    "call_center",
+}
+
+
+def tpcds_row_counts(scale_factor: float) -> Dict[str, int]:
+    """Row counts for each TPC-DS table at the given scale factor."""
+    counts = {}
+    for name, sf1 in _SF1_ROWS.items():
+        if name in _FIXED_TABLES:
+            # Keep small dimensions small but clamp the huge fixed ones.
+            counts[name] = min(sf1, max(6, int(sf1 * max(scale_factor, 0.02))))
+        else:
+            counts[name] = max(10, int(sf1 * scale_factor))
+    return counts
+
+
+def tpcds_schema(scale_factor: float = 0.01) -> Schema:
+    """Build the TPC-DS (subset) schema at ``scale_factor``."""
+    rows = tpcds_row_counts(scale_factor)
+    tables = [
+        Table(
+            "date_dim",
+            [
+                Column("d_date_sk"),
+                Column("d_year", distinct=6),
+                Column("d_moy", distinct=12),
+                Column("d_dom"),
+            ],
+            rows["date_dim"],
+            primary_key="d_date_sk",
+        ),
+        Table(
+            "time_dim",
+            [Column("t_time_sk"), Column("t_hour"), Column("t_minute")],
+            rows["time_dim"],
+            primary_key="t_time_sk",
+        ),
+        Table(
+            "item",
+            [
+                Column("i_item_sk"),
+                Column("i_brand_id"),
+                Column("i_category_id", distinct=10),
+                Column("i_manufact_id"),
+                Column("i_current_price", "float"),
+            ],
+            rows["item"],
+            primary_key="i_item_sk",
+        ),
+        Table(
+            "store",
+            [Column("s_store_sk"), Column("s_number_employees"), Column("s_state", "string", distinct=9)],
+            rows["store"],
+            primary_key="s_store_sk",
+        ),
+        Table(
+            "customer",
+            [
+                Column("c_customer_sk"),
+                Column("c_current_addr_sk"),
+                Column("c_current_cdemo_sk"),
+                Column("c_current_hdemo_sk"),
+                Column("c_birth_year"),
+            ],
+            rows["customer"],
+            primary_key="c_customer_sk",
+        ),
+        Table(
+            "customer_address",
+            [
+                Column("ca_address_sk"),
+                Column("ca_gmt_offset", "float"),
+                Column("ca_state", "string", distinct=51),
+            ],
+            rows["customer_address"],
+            primary_key="ca_address_sk",
+        ),
+        Table(
+            "customer_demographics",
+            [
+                Column("cd_demo_sk"),
+                Column("cd_gender", "string", distinct=2),
+                Column("cd_marital_status", "string", distinct=5),
+                Column("cd_education_status", "string", distinct=7),
+            ],
+            rows["customer_demographics"],
+            primary_key="cd_demo_sk",
+        ),
+        Table(
+            "household_demographics",
+            [
+                Column("hd_demo_sk"),
+                Column("hd_dep_count", distinct=10),
+                Column("hd_buy_potential", "string", distinct=6),
+            ],
+            rows["household_demographics"],
+            primary_key="hd_demo_sk",
+        ),
+        Table(
+            "promotion",
+            [
+                Column("p_promo_sk"),
+                Column("p_channel_email", "string"),
+                Column("p_channel_event", "string"),
+            ],
+            rows["promotion"],
+            primary_key="p_promo_sk",
+        ),
+        Table(
+            "call_center",
+            [Column("cc_call_center_sk"), Column("cc_employees")],
+            rows["call_center"],
+            primary_key="cc_call_center_sk",
+        ),
+        Table(
+            "store_sales",
+            [
+                Column("ss_sold_date_sk"),
+                Column("ss_item_sk"),
+                Column("ss_customer_sk"),
+                Column("ss_cdemo_sk"),
+                Column("ss_hdemo_sk"),
+                Column("ss_store_sk"),
+                Column("ss_promo_sk"),
+                Column("ss_quantity"),
+                Column("ss_sales_price", "float"),
+            ],
+            rows["store_sales"],
+            primary_key=None,
+        ),
+        Table(
+            "catalog_sales",
+            [
+                Column("cs_sold_date_sk"),
+                Column("cs_item_sk"),
+                Column("cs_bill_customer_sk"),
+                Column("cs_bill_cdemo_sk"),
+                Column("cs_call_center_sk"),
+                Column("cs_promo_sk"),
+                Column("cs_quantity"),
+                Column("cs_sales_price", "float"),
+            ],
+            rows["catalog_sales"],
+            primary_key=None,
+        ),
+        Table(
+            "web_sales",
+            [
+                Column("ws_sold_date_sk"),
+                Column("ws_item_sk"),
+                Column("ws_bill_customer_sk"),
+                Column("ws_quantity"),
+                Column("ws_sales_price", "float"),
+            ],
+            rows["web_sales"],
+            primary_key=None,
+        ),
+    ]
+    foreign_keys = [
+        ForeignKey("customer", "c_current_addr_sk", "customer_address", "ca_address_sk"),
+        ForeignKey("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+        ForeignKey("customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk"),
+        ForeignKey("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+        ForeignKey("store_sales", "ss_item_sk", "item", "i_item_sk"),
+        ForeignKey("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+        ForeignKey("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+        ForeignKey("store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk"),
+        ForeignKey("store_sales", "ss_store_sk", "store", "s_store_sk"),
+        ForeignKey("store_sales", "ss_promo_sk", "promotion", "p_promo_sk"),
+        ForeignKey("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+        ForeignKey("catalog_sales", "cs_item_sk", "item", "i_item_sk"),
+        ForeignKey("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"),
+        ForeignKey("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+        ForeignKey("catalog_sales", "cs_call_center_sk", "call_center", "cc_call_center_sk"),
+        ForeignKey("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk"),
+        ForeignKey("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"),
+        ForeignKey("web_sales", "ws_item_sk", "item", "i_item_sk"),
+        ForeignKey("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk"),
+    ]
+    return Schema(f"tpcds_sf{scale_factor:g}", tables, foreign_keys)
+
+
+def tpcds_generator_spec(scale_factor: float = 0.01) -> Dict[str, Dict[str, ColumnGenerator]]:
+    """Generator spec matching :func:`tpcds_schema`."""
+    rows = tpcds_row_counts(scale_factor)
+    return {
+        "date_dim": {
+            "d_date_sk": SequentialKey(),
+            "d_year": UniformInt(1998, 2003),
+            "d_moy": UniformInt(1, 12),
+            "d_dom": UniformInt(1, 28),
+        },
+        "time_dim": {
+            "t_time_sk": SequentialKey(),
+            "t_hour": UniformInt(0, 23),
+            "t_minute": UniformInt(0, 59),
+        },
+        "item": {
+            "i_item_sk": SequentialKey(),
+            "i_brand_id": UniformInt(1, 1000),
+            "i_category_id": UniformInt(1, 10),
+            "i_manufact_id": UniformInt(1, 1000),
+            "i_current_price": UniformFloat(0.09, 99.99),
+        },
+        "store": {
+            "s_store_sk": SequentialKey(),
+            "s_number_employees": UniformInt(200, 300),
+            "s_state": DictionaryString(9),
+        },
+        "customer": {
+            "c_customer_sk": SequentialKey(),
+            "c_current_addr_sk": ForeignKeyRef(rows["customer_address"], skew=0.3),
+            "c_current_cdemo_sk": ForeignKeyRef(rows["customer_demographics"], skew=0.3),
+            "c_current_hdemo_sk": ForeignKeyRef(rows["household_demographics"], skew=0.3),
+            "c_birth_year": UniformInt(1924, 1992),
+        },
+        "customer_address": {
+            "ca_address_sk": SequentialKey(),
+            "ca_gmt_offset": UniformFloat(-10.0, -5.0),
+            "ca_state": DictionaryString(51, skew=0.6),
+        },
+        "customer_demographics": {
+            "cd_demo_sk": SequentialKey(),
+            "cd_gender": DictionaryString(2),
+            "cd_marital_status": DictionaryString(5),
+            "cd_education_status": DictionaryString(7, skew=0.4),
+        },
+        "household_demographics": {
+            "hd_demo_sk": SequentialKey(),
+            "hd_dep_count": UniformInt(0, 9),
+            "hd_buy_potential": DictionaryString(6, skew=0.4),
+        },
+        "promotion": {
+            "p_promo_sk": SequentialKey(),
+            "p_channel_email": DictionaryString(2),
+            "p_channel_event": DictionaryString(2),
+        },
+        "call_center": {
+            "cc_call_center_sk": SequentialKey(),
+            "cc_employees": UniformInt(100, 1000),
+        },
+        "store_sales": {
+            "ss_sold_date_sk": ForeignKeyRef(rows["date_dim"], skew=0.4),
+            "ss_item_sk": ForeignKeyRef(rows["item"], skew=0.7),
+            "ss_customer_sk": ForeignKeyRef(rows["customer"], skew=0.5),
+            "ss_cdemo_sk": ForeignKeyRef(rows["customer_demographics"], skew=0.3),
+            "ss_hdemo_sk": ForeignKeyRef(rows["household_demographics"], skew=0.3),
+            "ss_store_sk": ForeignKeyRef(rows["store"], skew=0.4),
+            "ss_promo_sk": ForeignKeyRef(rows["promotion"], skew=0.5),
+            "ss_quantity": UniformInt(1, 100),
+            "ss_sales_price": UniformFloat(0.0, 200.0),
+        },
+        "catalog_sales": {
+            "cs_sold_date_sk": ForeignKeyRef(rows["date_dim"], skew=0.4),
+            "cs_item_sk": ForeignKeyRef(rows["item"], skew=0.7),
+            "cs_bill_customer_sk": ForeignKeyRef(rows["customer"], skew=0.5),
+            "cs_bill_cdemo_sk": ForeignKeyRef(rows["customer_demographics"], skew=0.3),
+            "cs_call_center_sk": ForeignKeyRef(rows["call_center"], skew=0.3),
+            "cs_promo_sk": ForeignKeyRef(rows["promotion"], skew=0.5),
+            "cs_quantity": UniformInt(1, 100),
+            "cs_sales_price": UniformFloat(0.0, 300.0),
+        },
+        "web_sales": {
+            "ws_sold_date_sk": ForeignKeyRef(rows["date_dim"], skew=0.4),
+            "ws_item_sk": ForeignKeyRef(rows["item"], skew=0.7),
+            "ws_bill_customer_sk": ForeignKeyRef(rows["customer"], skew=0.5),
+            "ws_quantity": UniformInt(1, 100),
+            "ws_sales_price": UniformFloat(0.0, 300.0),
+        },
+    }

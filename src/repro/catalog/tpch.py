@@ -1,0 +1,214 @@
+"""TPC-H style schema and data-generation spec.
+
+Cardinalities follow the TPC-H scaling rules (lineitem ≈ 6M rows at scale
+factor 1); the default scale factor here is laptop-sized.  Value
+distributions include Zipf skew and correlation so that sampled statistics
+mis-estimate — the error regime the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..datagen.generators import (
+    ColumnGenerator,
+    CorrelatedFloat,
+    DateRange,
+    DictionaryString,
+    ForeignKeyRef,
+    SequentialKey,
+    UniformFloat,
+    UniformInt,
+)
+from .schema import Column, ForeignKey, Schema, Table
+
+#: TPC-H base cardinalities at scale factor 1.
+_SF1_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Tables whose cardinality does not scale with the scale factor.
+_FIXED_TABLES = {"region", "nation"}
+
+
+def tpch_row_counts(scale_factor: float) -> Dict[str, int]:
+    """Row counts for each TPC-H table at the given scale factor."""
+    counts = {}
+    for name, sf1 in _SF1_ROWS.items():
+        if name in _FIXED_TABLES:
+            counts[name] = sf1
+        else:
+            counts[name] = max(10, int(sf1 * scale_factor))
+    return counts
+
+
+def tpch_schema(scale_factor: float = 0.01) -> Schema:
+    """Build the TPC-H schema at ``scale_factor``."""
+    rows = tpch_row_counts(scale_factor)
+    tables = [
+        Table(
+            "region",
+            [Column("r_regionkey"), Column("r_name", "string", distinct=5)],
+            rows["region"],
+            primary_key="r_regionkey",
+        ),
+        Table(
+            "nation",
+            [
+                Column("n_nationkey"),
+                Column("n_regionkey"),
+                Column("n_name", "string", distinct=25),
+            ],
+            rows["nation"],
+            primary_key="n_nationkey",
+        ),
+        Table(
+            "supplier",
+            [
+                Column("s_suppkey"),
+                Column("s_nationkey"),
+                Column("s_acctbal", "float"),
+            ],
+            rows["supplier"],
+            primary_key="s_suppkey",
+        ),
+        Table(
+            "customer",
+            [
+                Column("c_custkey"),
+                Column("c_nationkey"),
+                Column("c_acctbal", "float"),
+                Column("c_mktsegment", "string", distinct=5),
+            ],
+            rows["customer"],
+            primary_key="c_custkey",
+        ),
+        Table(
+            "part",
+            [
+                Column("p_partkey"),
+                Column("p_retailprice", "float"),
+                Column("p_size", distinct=50),
+                Column("p_brand", "string", distinct=25),
+                Column("p_container", "string", distinct=40),
+            ],
+            rows["part"],
+            primary_key="p_partkey",
+        ),
+        Table(
+            "partsupp",
+            [
+                Column("ps_partkey"),
+                Column("ps_suppkey"),
+                Column("ps_supplycost", "float"),
+            ],
+            rows["partsupp"],
+            primary_key="ps_partkey",  # simplified single-column PK
+        ),
+        Table(
+            "orders",
+            [
+                Column("o_orderkey"),
+                Column("o_custkey"),
+                Column("o_orderdate", "date"),
+                Column("o_totalprice", "float"),
+                Column("o_orderpriority", "string", distinct=5),
+            ],
+            rows["orders"],
+            primary_key="o_orderkey",
+        ),
+        Table(
+            "lineitem",
+            [
+                Column("l_orderkey"),
+                Column("l_partkey"),
+                Column("l_suppkey"),
+                Column("l_quantity", "float"),
+                Column("l_extendedprice", "float"),
+                Column("l_discount", "float"),
+                Column("l_shipdate", "date"),
+                Column("l_shipmode", "string", distinct=7),
+            ],
+            rows["lineitem"],
+            primary_key=None,
+        ),
+    ]
+    foreign_keys = [
+        ForeignKey("nation", "n_regionkey", "region", "r_regionkey"),
+        ForeignKey("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ForeignKey("customer", "c_nationkey", "nation", "n_nationkey"),
+        ForeignKey("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        ForeignKey("orders", "o_custkey", "customer", "c_custkey"),
+        ForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ForeignKey("lineitem", "l_partkey", "part", "p_partkey"),
+        ForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ]
+    return Schema(f"tpch_sf{scale_factor:g}", tables, foreign_keys)
+
+
+def tpch_generator_spec(scale_factor: float = 0.01) -> Dict[str, Dict[str, ColumnGenerator]]:
+    """Generator spec matching :func:`tpch_schema`.
+
+    Skew choices: order dates cluster (Zipf over days), customers reference
+    nations non-uniformly, lineitem part references are skewed, and
+    ``l_extendedprice`` correlates with ``l_quantity`` (AVI breaker).
+    """
+    rows = tpch_row_counts(scale_factor)
+    return {
+        "region": {
+            "r_regionkey": SequentialKey(),
+            "r_name": DictionaryString(5),
+        },
+        "nation": {
+            "n_nationkey": SequentialKey(),
+            "n_regionkey": ForeignKeyRef(rows["region"]),
+            "n_name": DictionaryString(25),
+        },
+        "supplier": {
+            "s_suppkey": SequentialKey(),
+            "s_nationkey": ForeignKeyRef(rows["nation"], skew=0.5),
+            "s_acctbal": UniformFloat(-999.99, 9999.99),
+        },
+        "customer": {
+            "c_custkey": SequentialKey(),
+            "c_nationkey": ForeignKeyRef(rows["nation"], skew=0.5),
+            "c_acctbal": UniformFloat(-999.99, 9999.99),
+            "c_mktsegment": DictionaryString(5),
+        },
+        "part": {
+            "p_partkey": SequentialKey(),
+            "p_retailprice": UniformFloat(900.0, 2100.0),
+            "p_size": UniformInt(1, 50),
+            "p_brand": DictionaryString(25, skew=0.5),
+            "p_container": DictionaryString(40, skew=0.5),
+        },
+        "partsupp": {
+            "ps_partkey": SequentialKey(),
+            "ps_suppkey": ForeignKeyRef(rows["supplier"], skew=0.3),
+            "ps_supplycost": UniformFloat(1.0, 1000.0),
+        },
+        "orders": {
+            "o_orderkey": SequentialKey(),
+            "o_custkey": ForeignKeyRef(rows["customer"], skew=0.5),
+            "o_orderdate": DateRange(0, 2400),
+            "o_totalprice": UniformFloat(800.0, 500_000.0),
+            "o_orderpriority": DictionaryString(5, skew=0.4),
+        },
+        "lineitem": {
+            "l_orderkey": ForeignKeyRef(rows["orders"], skew=0.2),
+            "l_partkey": ForeignKeyRef(rows["part"], skew=0.6),
+            "l_suppkey": ForeignKeyRef(rows["supplier"], skew=0.4),
+            "l_quantity": UniformFloat(1.0, 50.0),
+            "l_extendedprice": CorrelatedFloat("l_quantity", 900.0, 105_000.0, 0.8),
+            "l_discount": UniformFloat(0.0, 0.1),
+            "l_shipdate": DateRange(0, 2500),
+            "l_shipmode": DictionaryString(7, skew=0.5),
+        },
+    }

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on deterministic synthetic environments (benchmark +
+scale + seed fully determine the data), so results are reproducible
+across machines:
+
+* ``schema``  — show the generated schema's tables and cardinalities;
+* ``explain`` — optimize a SQL query at estimated selectivities and
+  print the chosen plan;
+* ``compile`` — build a plan bouquet for a SQL query, optionally
+  validating and saving it;
+* ``advise``  — apply §8's deployment rules (native / re-optimize /
+  bouquet) to a query instance;
+* ``run``     — execute a query through the bouquet (compiling first or
+  loading a saved artifact) and print the execution trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .catalog.tpcds import tpcds_generator_spec, tpcds_schema
+from .catalog.tpch import tpch_generator_spec, tpch_schema
+from .core.advisor import recommend_processing_mode
+from .core.session import BouquetSession, CompiledQuery
+from .core.validation import validate_bouquet
+from .datagen.database import Database
+from .exceptions import ReproError
+from .optimizer.explain import explain as explain_plan
+from .query.sql import parse_query
+
+
+def _build_environment(args):
+    if args.benchmark == "tpch":
+        schema = tpch_schema(args.scale)
+        spec = tpch_generator_spec(args.scale)
+    else:
+        schema = tpcds_schema(args.scale)
+        spec = tpcds_generator_spec(args.scale)
+    database = Database.generate(schema, spec, seed=args.seed)
+    statistics = database.build_statistics(sample_size=args.stats_sample, seed=args.seed)
+    return schema, database, statistics
+
+
+def _add_env_arguments(parser):
+    parser.add_argument(
+        "--benchmark", choices=("tpch", "tpcds"), default="tpch",
+        help="synthetic environment to generate (default: tpch)",
+    )
+    parser.add_argument("--scale", type=float, default=0.003, help="scale factor")
+    parser.add_argument("--seed", type=int, default=42, help="data generation seed")
+    parser.add_argument(
+        "--stats-sample", type=int, default=2000,
+        help="rows sampled per column for optimizer statistics",
+    )
+
+
+def _cmd_schema(args) -> int:
+    schema, database, _ = _build_environment(args)
+    print(f"schema {schema.name}:")
+    for name in schema.table_names:
+        table = schema.table(name)
+        print(
+            f"  {name:<22} rows={table.row_count:<10} pages={table.pages:<7} "
+            f"columns={', '.join(table.column_names)}"
+        )
+    print(f"foreign keys: {len(schema.foreign_keys)}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    schema, database, statistics = _build_environment(args)
+    session = BouquetSession(schema, statistics=statistics, database=database)
+    query = parse_query(args.sql, schema)
+    result = session.optimizer.optimize(query)
+    assignment = session.optimizer.estimated_assignment(query)
+    print(query.describe())
+    print()
+    print(explain_plan(result.plan, schema, session.optimizer.cost_model, assignment))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    schema, database, statistics = _build_environment(args)
+    session = BouquetSession(
+        schema,
+        statistics=statistics,
+        database=database,
+        lambda_=args.anorexic_lambda,
+        ratio=args.ratio,
+    )
+    compiled = session.compile(args.sql, resolution=args.resolution)
+    print(compiled.bouquet.describe())
+    if args.validate:
+        report = validate_bouquet(compiled.bouquet, check_optimized=True, sample=8)
+        print(report.describe())
+        if not report.ok:
+            return 1
+    if args.save:
+        compiled.save(args.save)
+        print(f"saved bouquet to {args.save}")
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    schema, database, statistics = _build_environment(args)
+    query = parse_query(args.sql, schema)
+    recommendation = recommend_processing_mode(
+        query,
+        statistics,
+        read_only=not args.update,
+        latency_sensitive=args.latency_sensitive,
+    )
+    print(query.describe())
+    print()
+    print(recommendation.describe())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    schema, database, statistics = _build_environment(args)
+    session = BouquetSession(schema, statistics=statistics, database=database)
+    if args.load:
+        query = parse_query(args.sql, schema)
+        compiled = CompiledQuery.load(args.load, session, query)
+    else:
+        compiled = session.compile(args.sql, resolution=args.resolution)
+    result = compiled.execute(mode=args.mode)
+    for record in result.executions:
+        kind = "spilled" if record.spilled else "full"
+        status = "completed" if record.completed else "budget-killed"
+        print(
+            f"IC{record.contour_index}: P{record.plan_id} ({kind}) "
+            f"spent {record.cost_spent:.1f}/{record.budget:.1f} — {status}"
+        )
+    print(
+        f"result: {result.result_rows} rows, total cost {result.total_cost:.1f}, "
+        f"{result.execution_count} executions "
+        f"(guaranteed MSO <= {compiled.mso_bound:.1f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plan bouquets: query processing without selectivity estimation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_schema = sub.add_parser("schema", help="show the synthetic schema")
+    _add_env_arguments(p_schema)
+    p_schema.set_defaults(func=_cmd_schema)
+
+    p_explain = sub.add_parser("explain", help="optimize and print a plan")
+    _add_env_arguments(p_explain)
+    p_explain.add_argument("sql", help="SPJ SQL text")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_compile = sub.add_parser("compile", help="compile a plan bouquet")
+    _add_env_arguments(p_compile)
+    p_compile.add_argument("sql", help="SPJ SQL text")
+    p_compile.add_argument("--resolution", type=int, default=None)
+    p_compile.add_argument("--anorexic-lambda", type=float, default=0.2)
+    p_compile.add_argument("--ratio", type=float, default=2.0)
+    p_compile.add_argument("--save", metavar="PATH", default=None)
+    p_compile.add_argument("--validate", action="store_true")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_advise = sub.add_parser(
+        "advise", help="recommend native / re-optimize / bouquet for a query (§8)"
+    )
+    _add_env_arguments(p_advise)
+    p_advise.add_argument("sql", help="SPJ SQL text")
+    p_advise.add_argument("--update", action="store_true", help="query writes data")
+    p_advise.add_argument("--latency-sensitive", action="store_true")
+    p_advise.set_defaults(func=_cmd_advise)
+
+    p_run = sub.add_parser("run", help="execute a query through its bouquet")
+    _add_env_arguments(p_run)
+    p_run.add_argument("sql", help="SPJ SQL text")
+    p_run.add_argument("--load", metavar="PATH", default=None)
+    p_run.add_argument("--resolution", type=int, default=None)
+    p_run.add_argument("--mode", choices=("basic", "optimized"), default="optimized")
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

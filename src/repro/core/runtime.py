@@ -1,0 +1,563 @@
+"""Run-time bouquet execution (§5).
+
+Two algorithm variants are provided, both driven through an abstract
+:class:`ExecutionService` so they run identically against the cost-model
+simulator (used for ESS-wide metric sweeps, as the paper does for
+Figures 14-18) and against the real execution engine (Table 3):
+
+* **basic** (Figure 7) — every plan on each contour is executed under the
+  contour budget, in a fixed order, until one completes.
+* **optimized** (Figure 13) — the running location ``q_run`` is tracked
+  under the first-quadrant invariant; plans are chosen by the AxisPlans
+  heuristic and executed in *spill* mode so the budget concentrates on
+  learning one selectivity at a time; contours are crossed early when the
+  learned location already prices beyond the current budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ess.space import Location
+from ..exceptions import BouquetError
+from ..optimizer.plans import (
+    cost_plan,
+    error_node_depth,
+    first_error_node,
+)
+from .bouquet import PlanBouquet
+
+
+@dataclass
+class LearnedSelectivity:
+    """A lower bound for one error dimension discovered at run time."""
+
+    pid: str
+    value: float
+    exact: bool
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of one (cost-limited) plan execution."""
+
+    completed: bool
+    cost_spent: float
+    learned: List[LearnedSelectivity] = field(default_factory=list)
+    result_rows: Optional[int] = None
+
+
+@dataclass
+class ExecutionRecord:
+    """One entry of the bouquet run trace (drives Table 3)."""
+
+    contour_index: int
+    plan_id: int
+    spilled: bool
+    budget: float
+    cost_spent: float
+    completed: bool
+    learned: Tuple[LearnedSelectivity, ...] = ()
+
+    @property
+    def learned_pids(self) -> Tuple[str, ...]:
+        return tuple(l.pid for l in self.learned)
+
+
+@dataclass
+class BouquetRunResult:
+    """Complete account of one bouquet execution."""
+
+    total_cost: float
+    executions: List[ExecutionRecord]
+    final_plan_id: Optional[int]
+    completed: bool
+    result_rows: Optional[int] = None
+
+    @property
+    def execution_count(self) -> int:
+        return len(self.executions)
+
+    @property
+    def partial_executions(self) -> int:
+        return sum(1 for e in self.executions if not e.completed)
+
+    def executions_per_contour(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for record in self.executions:
+            counts[record.contour_index] = counts.get(record.contour_index, 0) + 1
+        return counts
+
+
+class ExecutionService:
+    """What the bouquet driver needs from an execution substrate."""
+
+    def run_full(self, plan_id: int, budget: float) -> ExecutionOutcome:
+        """Execute the full plan under a cost budget."""
+        raise NotImplementedError
+
+    def run_spilled(
+        self, plan_id: int, budget: float, unlearned_pids: FrozenSet[str]
+    ) -> ExecutionOutcome:
+        """Execute in spill mode: stop after the first node carrying an
+        unlearned error pid, discarding its output (§5.3)."""
+        raise NotImplementedError
+
+
+class AbstractExecutionService(ExecutionService):
+    """Cost-model-world execution against a hidden true location ``qa``.
+
+    A full run completes iff the plan's true cost fits the budget; a
+    spilled run advances the learned selectivity of the targeted dimension
+    to the point where the spilled subtree's cost meets the budget
+    (found by bisection on the plan's parametric cost function).
+    """
+
+    def __init__(self, bouquet: PlanBouquet, qa_values: Sequence[float]):
+        self.bouquet = bouquet
+        self.space = bouquet.space
+        self.qa_values = tuple(float(v) for v in qa_values)
+        if len(self.qa_values) != self.space.dimensionality:
+            raise BouquetError("qa values do not match ESS dimensionality")
+        self._schema = bouquet.space.query.schema
+        self._truth = self.space.assignment_for(self.qa_values)
+        self._dims_by_pid = {dim.pid: dim for dim in self.space.dimensions}
+
+    # -- plumbing -------------------------------------------------------
+
+    def _plan(self, plan_id: int):
+        return self.bouquet.registry.plan(plan_id)
+
+    def _cost_model(self):
+        return self.bouquet.cost_cache.optimizer.cost_model
+
+    def true_cost(self, plan_id: int) -> float:
+        plan = self._plan(plan_id)
+        est = cost_plan(plan, self._schema, self._cost_model(), self._truth)
+        return est.cost
+
+    # -- ExecutionService -----------------------------------------------
+
+    def run_full(self, plan_id: int, budget: float) -> ExecutionOutcome:
+        cost = self.true_cost(plan_id)
+        if cost <= budget:
+            return ExecutionOutcome(completed=True, cost_spent=cost)
+        return ExecutionOutcome(completed=False, cost_spent=budget)
+
+    def run_spilled(
+        self, plan_id: int, budget: float, unlearned_pids: FrozenSet[str]
+    ) -> ExecutionOutcome:
+        plan = self._plan(plan_id)
+        node = first_error_node(plan, unlearned_pids)
+        if node is None:
+            return self.run_full(plan_id, budget)
+        target_pids = sorted(node.local_pids & unlearned_pids)
+        model = self._cost_model()
+
+        def subtree_cost(t: float) -> float:
+            assignment = dict(self._truth)
+            for pid in target_pids:
+                lo = self._dims_by_pid[pid].lo
+                true_value = self._truth[pid]
+                assignment[pid] = _geometric_interp(lo, true_value, t)
+            est = cost_plan(node, self._schema, model, assignment)
+            return est.cost
+
+        full_cost = subtree_cost(1.0)
+        if full_cost <= budget:
+            learned = [
+                LearnedSelectivity(pid, self._truth[pid], exact=True)
+                for pid in target_pids
+            ]
+            return ExecutionOutcome(
+                completed=True, cost_spent=full_cost, learned=learned
+            )
+        # Bisect the largest progress fraction that fits the budget.
+        lo_t, hi_t = 0.0, 1.0
+        if subtree_cost(0.0) > budget:
+            lo_t = hi_t = 0.0
+        else:
+            for _ in range(40):
+                mid = 0.5 * (lo_t + hi_t)
+                if subtree_cost(mid) <= budget:
+                    lo_t = mid
+                else:
+                    hi_t = mid
+        learned = []
+        for pid in target_pids:
+            dim = self._dims_by_pid[pid]
+            value = _geometric_interp(dim.lo, self._truth[pid], lo_t)
+            learned.append(LearnedSelectivity(pid, value, exact=False))
+        return ExecutionOutcome(completed=False, cost_spent=budget, learned=learned)
+
+
+def _geometric_interp(lo: float, hi: float, t: float) -> float:
+    """Log-space interpolation between ``lo`` (t=0) and ``hi`` (t=1)."""
+    if hi <= lo:
+        return hi
+    return lo * (hi / lo) ** t
+
+
+# ---------------------------------------------------------------------------
+# The bouquet driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AxisPlanCandidate:
+    """One AxisPlans entry: a contour plan reachable along one dimension."""
+
+    dim_index: int
+    plan_id: int
+    contour_location: Location
+    cost_at_qrun: float
+    error_depth: int
+
+
+class BouquetRunner:
+    """Drives a bouquet execution against an :class:`ExecutionService`."""
+
+    def __init__(
+        self,
+        bouquet: PlanBouquet,
+        service: ExecutionService,
+        mode: str = "optimized",
+        equivalence_threshold: float = 0.2,
+        model_error_delta: float = 0.0,
+    ):
+        """``model_error_delta`` inflates every contour budget by (1+δ),
+        preserving the completion guarantee under bounded cost-modeling
+        error (§3.4) at the price of an (1+δ)² MSO factor."""
+        if mode not in ("basic", "optimized"):
+            raise BouquetError(f"unknown bouquet mode {mode!r}")
+        if model_error_delta < 0:
+            raise BouquetError("model_error_delta must be non-negative")
+        self.bouquet = bouquet
+        self.service = service
+        self.mode = mode
+        self.equivalence_threshold = equivalence_threshold
+        self.space = bouquet.space
+        self.budgets = [
+            budget * (1.0 + model_error_delta) for budget in bouquet.budgets
+        ]
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> BouquetRunResult:
+        if self.mode == "basic":
+            return self._run_basic()
+        return self._run_optimized()
+
+    # -- basic (Figure 7) -----------------------------------------------
+
+    def _run_basic(self) -> BouquetRunResult:
+        total = 0.0
+        trace: List[ExecutionRecord] = []
+        for contour, budget in zip(self.bouquet.contours, self.budgets):
+            for plan_id in contour.plan_ids:
+                outcome = self.service.run_full(plan_id, budget)
+                total += outcome.cost_spent
+                trace.append(
+                    ExecutionRecord(
+                        contour_index=contour.index,
+                        plan_id=plan_id,
+                        spilled=False,
+                        budget=budget,
+                        cost_spent=outcome.cost_spent,
+                        completed=outcome.completed,
+                    )
+                )
+                if outcome.completed:
+                    return BouquetRunResult(
+                        total_cost=total,
+                        executions=trace,
+                        final_plan_id=plan_id,
+                        completed=True,
+                        result_rows=outcome.result_rows,
+                    )
+        return BouquetRunResult(
+            total_cost=total, executions=trace, final_plan_id=None, completed=False
+        )
+
+    # -- optimized (Figure 13) ------------------------------------------
+
+    def _run_optimized(self) -> BouquetRunResult:
+        space = self.space
+        dims = space.dimensions
+        qrun = [dim.lo for dim in dims]
+        exact: Set[int] = set()
+        total = 0.0
+        trace: List[ExecutionRecord] = []
+        cid = 0
+        contours = self.bouquet.contours
+        budgets = self.budgets
+        # (contour, plan) pairs already spilled, to guarantee progress.
+        attempted: Set[Tuple[int, int]] = set()
+        # (contour, plan) pairs proven unable to complete under the
+        # contour's budget: a budget-exhausted run (spilled or full)
+        # consumed the whole budget, and by PCM a rerun fares no better.
+        exhausted: Set[Tuple[int, int]] = set()
+
+        while cid < len(contours):
+            contour = contours[cid]
+            budget = budgets[cid]
+
+            # First-quadrant pruning (§5.1): a resident plan can only be the
+            # guaranteed completer if one of its contour locations dominates
+            # q_run; a contour with NO dominating location cannot contain qa
+            # (qa >= q_run componentwise) and is crossed without execution.
+            dominating = self._dominating_plans(contour, qrun)
+            if not dominating:
+                cid += 1
+                continue
+
+            if len(exact) == space.dimensionality:
+                # Everything learned: run the cheapest dominating plan fully.
+                # Plans whose spilled run already exhausted this contour's
+                # budget cannot complete under it either (their spilled
+                # subtree alone consumed the budget), so they are skipped.
+                runnable = [
+                    pid for pid in dominating if (cid, pid) not in exhausted
+                ]
+                if not runnable:
+                    cid += 1
+                    continue
+                plan_id = self._cheapest_plan(runnable, qrun)
+                outcome = self.service.run_full(plan_id, budget)
+                if not outcome.completed:
+                    exhausted.add((cid, plan_id))
+                total += outcome.cost_spent
+                trace.append(
+                    ExecutionRecord(
+                        contour_index=contour.index,
+                        plan_id=plan_id,
+                        spilled=False,
+                        budget=budget,
+                        cost_spent=outcome.cost_spent,
+                        completed=outcome.completed,
+                    )
+                )
+                if outcome.completed:
+                    return BouquetRunResult(
+                        total_cost=total,
+                        executions=trace,
+                        final_plan_id=plan_id,
+                        completed=True,
+                        result_rows=outcome.result_rows,
+                    )
+                cid += 1
+                continue
+
+            candidates = self._axis_plans(contour, qrun, exact)
+            candidates = [
+                c for c in candidates if (cid, c.plan_id) not in attempted
+            ]
+            unlearned = frozenset(
+                dims[d].pid for d in range(len(dims)) if d not in exact
+            )
+            # Cost-function pre-check (compile-time knowledge only): if a
+            # candidate's spilled subtree already prices at or above the
+            # budget AT q_run, spilling it learns nothing new — and since
+            # the full plan costs at least as much, it cannot complete
+            # either.  Such plans are crossed without any execution.
+            productive = []
+            for cand in candidates:
+                floor = self._spill_floor(cand.plan_id, qrun, unlearned)
+                if floor >= budget * (1 - 1e-9):
+                    attempted.add((cid, cand.plan_id))
+                    exhausted.add((cid, cand.plan_id))
+                else:
+                    productive.append(cand)
+            candidates = productive
+            if not candidates:
+                # Nothing left to learn on this contour: fall back to the
+                # explicit completion check — run the dominating resident
+                # plans fully under the contour budget (cheapest at q_run
+                # first).  Plans already costlier than the budget at q_run
+                # cannot complete (PCM + first-quadrant invariant) and are
+                # pruned.  Only if none completes is qa beyond the contour.
+                ordered = sorted(
+                    (
+                        pid
+                        for pid in dominating
+                        if (cid, pid) not in exhausted
+                        and self._cost_at_values(pid, qrun) <= budget * (1 + 1e-9)
+                    ),
+                    key=lambda pid: self._cost_at_values(pid, qrun),
+                )
+                for plan_id in ordered:
+                    exhausted.add((cid, plan_id))
+                    outcome = self.service.run_full(plan_id, budget)
+                    total += outcome.cost_spent
+                    trace.append(
+                        ExecutionRecord(
+                            contour_index=contour.index,
+                            plan_id=plan_id,
+                            spilled=False,
+                            budget=budget,
+                            cost_spent=outcome.cost_spent,
+                            completed=outcome.completed,
+                        )
+                    )
+                    if outcome.completed:
+                        return BouquetRunResult(
+                            total_cost=total,
+                            executions=trace,
+                            final_plan_id=plan_id,
+                            completed=True,
+                            result_rows=outcome.result_rows,
+                        )
+                cid += 1
+                continue
+            choice = self._pick_candidate(candidates)
+            attempted.add((cid, choice.plan_id))
+            outcome = self.service.run_spilled(choice.plan_id, budget, unlearned)
+            total += outcome.cost_spent
+            if not outcome.completed and outcome.cost_spent >= budget * (1 - 1e-9):
+                exhausted.add((cid, choice.plan_id))
+            trace.append(
+                ExecutionRecord(
+                    contour_index=contour.index,
+                    plan_id=choice.plan_id,
+                    spilled=True,
+                    budget=budget,
+                    cost_spent=outcome.cost_spent,
+                    completed=outcome.completed,
+                    learned=tuple(outcome.learned),
+                )
+            )
+            # Merge the learning into q_run (first-quadrant invariant: the
+            # learned values are lower bounds, so max-merge is safe).
+            pid_to_dim = {dim.pid: i for i, dim in enumerate(dims)}
+            for learned in outcome.learned:
+                d = pid_to_dim[learned.pid]
+                if learned.value > qrun[d]:
+                    qrun[d] = learned.value
+                if learned.exact:
+                    exact.add(d)
+            # Early contour change (Figure 13's last step).
+            if self._optimal_cost_estimate(qrun) >= budget and cid + 1 < len(contours):
+                cid += 1
+        return BouquetRunResult(
+            total_cost=total, executions=trace, final_plan_id=None, completed=False
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    def _cost_at_values(self, plan_id: int, values: Sequence[float]) -> float:
+        return self.bouquet.cost_cache.cost_at_values(plan_id, values)
+
+    def _cheapest_plan(self, plan_ids: Sequence[int], values: Sequence[float]) -> int:
+        return min(plan_ids, key=lambda pid: self._cost_at_values(pid, values))
+
+    def _spill_floor(
+        self, plan_id: int, qrun: Sequence[float], unlearned: FrozenSet[str]
+    ) -> float:
+        """Cost of the plan's spilled subtree at q_run — a lower bound on
+        what a spilled execution will charge, computable from compile-time
+        cost functions alone."""
+        from ..optimizer.plans import spilled_cost
+
+        cache = self.bouquet.cost_cache
+        plan = self.bouquet.registry.plan(plan_id)
+        assignment = self.space.assignment_for(qrun)
+        cost, _ = spilled_cost(
+            plan,
+            cache.optimizer.schema,
+            cache.optimizer.cost_model,
+            assignment,
+            unlearned,
+        )
+        return cost
+
+    def _dominating_plans(self, contour, qrun: Sequence[float]) -> List[int]:
+        """Resident plans owning at least one contour location whose
+        selectivities dominate q_run componentwise."""
+        space = self.space
+        plans: Set[int] = set()
+        for location, plan_id in contour.plan_at.items():
+            if plan_id in plans:
+                continue
+            sels = space.selectivities_at(location)
+            if all(s >= q * (1.0 - 1e-9) for s, q in zip(sels, qrun)):
+                plans.add(plan_id)
+        return sorted(plans)
+
+    def _optimal_cost_estimate(self, values: Sequence[float]) -> float:
+        """PIC estimate at an arbitrary point: min over bouquet plan costs."""
+        return min(
+            self._cost_at_values(pid, values) for pid in self.bouquet.plan_ids
+        )
+
+    def _axis_plans(
+        self, contour, qrun: Sequence[float], exact: Set[int]
+    ) -> List[AxisPlanCandidate]:
+        """AxisPlans(q_run): contour plans at the intersections of the
+        contour with the positive axes through ``q_run`` (§5.1)."""
+        space = self.space
+        costs = self.bouquet.diagram.costs
+        snapped = space.snap(qrun)
+        candidates: List[AxisPlanCandidate] = []
+        if costs[snapped] > contour.cost * (1.0 + 1e-9):
+            return candidates  # already beyond this contour everywhere
+        for d in range(space.dimensionality):
+            if d in exact:
+                continue
+            # Walk the +d ray to the last location inside the contour.
+            best_g = None
+            for g in range(snapped[d], space.shape[d]):
+                probe = snapped[:d] + (g,) + snapped[d + 1 :]
+                if costs[probe] <= contour.cost * (1.0 + 1e-9):
+                    best_g = g
+                else:
+                    break
+            if best_g is None:
+                continue
+            ray_point = snapped[:d] + (best_g,) + snapped[d + 1 :]
+            owner = self._covering_contour_location(contour, ray_point)
+            if owner is None:
+                continue
+            plan_id = contour.plan_at[owner]
+            plan = self.bouquet.registry.plan(plan_id)
+            dim_pid = space.dimensions[d].pid
+            depth = error_node_depth(plan, frozenset((dim_pid,)))
+            candidates.append(
+                AxisPlanCandidate(
+                    dim_index=d,
+                    plan_id=plan_id,
+                    contour_location=owner,
+                    cost_at_qrun=self._cost_at_values(plan_id, qrun),
+                    error_depth=depth,
+                )
+            )
+        # The same plan may be hit along several axes; keep one entry each.
+        unique: Dict[int, AxisPlanCandidate] = {}
+        for cand in candidates:
+            kept = unique.get(cand.plan_id)
+            if kept is None or cand.error_depth > kept.error_depth:
+                unique[cand.plan_id] = cand
+        return list(unique.values())
+
+    def _covering_contour_location(self, contour, point: Location) -> Optional[Location]:
+        """Closest contour location dominating ``point`` (guaranteed to
+        exist because contour locations are the region's maximal elements)."""
+        best = None
+        best_distance = None
+        for location in contour.locations:
+            if all(a >= b for a, b in zip(location, point)):
+                distance = sum(a - b for a, b in zip(location, point))
+                if best_distance is None or distance < best_distance:
+                    best, best_distance = location, distance
+        return best
+
+    def _pick_candidate(self, candidates: List[AxisPlanCandidate]) -> AxisPlanCandidate:
+        """Cost-equivalence-group + deepest-error-node heuristic (§5.1)."""
+        cheapest = min(c.cost_at_qrun for c in candidates)
+        group = [
+            c
+            for c in candidates
+            if c.cost_at_qrun <= cheapest * (1.0 + self.equivalence_threshold)
+        ]
+        group.sort(key=lambda c: (-c.error_depth, c.cost_at_qrun, c.plan_id))
+        return group[0]

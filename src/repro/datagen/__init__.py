@@ -1,0 +1,27 @@
+"""Synthetic data generation."""
+
+from .database import Database
+from .generators import (
+    ColumnGenerator,
+    CorrelatedFloat,
+    DateRange,
+    DictionaryString,
+    ForeignKeyRef,
+    SequentialKey,
+    UniformFloat,
+    UniformInt,
+    ZipfInt,
+)
+
+__all__ = [
+    "Database",
+    "ColumnGenerator",
+    "CorrelatedFloat",
+    "DateRange",
+    "DictionaryString",
+    "ForeignKeyRef",
+    "SequentialKey",
+    "UniformFloat",
+    "UniformInt",
+    "ZipfInt",
+]

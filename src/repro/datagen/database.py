@@ -1,0 +1,183 @@
+"""In-memory database: generated tables plus derived statistics.
+
+A :class:`Database` holds one numpy array per column and can build the
+optimizer-facing :class:`~repro.catalog.statistics.DatabaseStatistics`
+either *exactly* (perfect statistics) or from a sample (stale/inaccurate
+statistics), which is the knob that creates realistic estimation errors.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..catalog.schema import Schema
+from ..catalog.statistics import (
+    ColumnStatistics,
+    DatabaseStatistics,
+    TableStatistics,
+)
+from ..exceptions import CatalogError
+from .generators import ColumnGenerator, CorrelatedFloat
+
+#: Generator spec type: table -> column -> generator.
+GeneratorSpec = Mapping[str, Mapping[str, ColumnGenerator]]
+
+
+def _column_rng(root: np.random.SeedSequence, table: str, column: str) -> np.random.Generator:
+    """Independent RNG stream per (table, column), stable across processes.
+
+    Uses CRC32 (not Python's salted ``hash``) so the same seed always
+    generates byte-identical databases — required for the repeatability
+    guarantees this library makes."""
+    key = zlib.crc32(f"{table}.{column}".encode("utf-8"))
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=root.entropy, spawn_key=(key,))
+    )
+
+
+class Database:
+    """Generated relational data for a :class:`~repro.catalog.schema.Schema`."""
+
+    def __init__(self, schema: Schema, tables: Dict[str, Dict[str, np.ndarray]]):
+        self.schema = schema
+        self._tables = tables
+        for name, cols in tables.items():
+            table = schema.table(name)
+            lengths = {arr.size for arr in cols.values()}
+            if len(lengths) > 1:
+                raise CatalogError(f"ragged columns in generated table {name!r}")
+            if lengths and lengths.pop() != table.row_count:
+                raise CatalogError(
+                    f"generated table {name!r} does not match catalog row count"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def generate(schema: Schema, spec: GeneratorSpec, seed: int = 42) -> "Database":
+        """Generate all tables of ``schema`` from the generator ``spec``.
+
+        Generation is deterministic in ``seed``; each (table, column) pair
+        gets an independent child RNG stream so adding a column does not
+        reshuffle the others.
+        """
+        root = np.random.SeedSequence(seed)
+        tables: Dict[str, Dict[str, np.ndarray]] = {}
+        for tname in schema.table_names:
+            table = schema.table(tname)
+            col_spec = spec.get(tname)
+            if col_spec is None:
+                raise CatalogError(f"no generator spec for table {tname!r}")
+            arrays: Dict[str, np.ndarray] = {}
+            deferred = []
+            for col in table.columns:
+                gen = col_spec.get(col.name)
+                if gen is None:
+                    raise CatalogError(
+                        f"no generator for column {tname}.{col.name}"
+                    )
+                if isinstance(gen, CorrelatedFloat):
+                    deferred.append((col.name, gen))
+                    continue
+                rng = _column_rng(root, tname, col.name)
+                arrays[col.name] = gen.generate(table.row_count, rng)
+            for col_name, gen in deferred:
+                if gen.base_column not in arrays:
+                    raise CatalogError(
+                        f"correlated column {tname}.{col_name} references missing "
+                        f"base column {gen.base_column!r}"
+                    )
+                rng = _column_rng(root, tname, col_name)
+                arrays[col_name] = gen.generate_correlated(
+                    arrays[gen.base_column], table.row_count, rng
+                )
+            tables[tname] = arrays
+        return Database(schema, tables)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Dict[str, np.ndarray]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"database has no table {name!r}") from None
+
+    def column(self, table: str, column: str) -> np.ndarray:
+        cols = self.table(table)
+        try:
+            return cols[column]
+        except KeyError:
+            raise CatalogError(f"table {table!r} has no column {column!r}") from None
+
+    def row_count(self, table: str) -> int:
+        return self.schema.table(table).row_count
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def build_statistics(
+        self,
+        sample_size: Optional[int] = None,
+        buckets: int = 100,
+        seed: int = 0,
+    ) -> DatabaseStatistics:
+        """Build optimizer statistics over every column.
+
+        ``sample_size=None`` gives perfect statistics; a finite sample
+        produces the realistic, error-prone variety.
+        """
+        stats = DatabaseStatistics()
+        for tname in self.schema.table_names:
+            table = self.schema.table(tname)
+            tstats = TableStatistics(tname, table.row_count)
+            for col in table.columns:
+                arr = self.column(tname, col.name)
+                tstats.set_column(
+                    col.name,
+                    ColumnStatistics.from_array(
+                        arr, buckets=buckets, sample_size=sample_size, seed=seed
+                    ),
+                )
+            stats.set_table(tstats)
+        return stats
+
+    def actual_selection_selectivity(self, table: str, column: str, op: str, value) -> float:
+        """Ground-truth selectivity of ``table.column <op> value``."""
+        arr = self.column(table, column)
+        if op == "=":
+            frac = float(np.mean(arr == value))
+        elif op == "<":
+            frac = float(np.mean(arr < value))
+        elif op == "<=":
+            frac = float(np.mean(arr <= value))
+        elif op == ">":
+            frac = float(np.mean(arr > value))
+        elif op == ">=":
+            frac = float(np.mean(arr >= value))
+        elif op == "in":
+            frac = float(np.mean(np.isin(arr, np.asarray(value))))
+        else:
+            raise CatalogError(f"unsupported operator {op!r}")
+        return max(frac, 0.0)
+
+    def actual_join_selectivity(
+        self, left_table: str, left_column: str, right_table: str, right_column: str
+    ) -> float:
+        """Ground-truth join selectivity |L ⋈ R| / (|L| * |R|)."""
+        left = self.column(left_table, left_column)
+        right = self.column(right_table, right_column)
+        values, left_counts = np.unique(left, return_counts=True)
+        rvalues, right_counts = np.unique(right, return_counts=True)
+        common, li, ri = np.intersect1d(values, rvalues, return_indices=True)
+        if common.size == 0:
+            return 0.0
+        matches = float(np.dot(left_counts[li].astype(float), right_counts[ri].astype(float)))
+        return matches / (left.size * right.size)

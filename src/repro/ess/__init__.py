@@ -1,0 +1,42 @@
+"""Error-prone selectivity space: grids, plan diagrams, POSP, reduction."""
+
+from .diagram import PlanCostCache, PlanDiagram, coarse_subgrid
+from .dimensioning import (
+    DimensionImpact,
+    Uncertainty,
+    WorkloadErrorLog,
+    classify_predicate,
+    eliminate_low_impact_dimensions,
+    measure_dimension_impacts,
+    select_error_dimensions,
+)
+from .posp import ContourBandResult, contour_focused_posp, diagram_from_band
+from .reduction import DEFAULT_LAMBDA, ReducedAssignment, anorexic_reduce, reduced_diagram
+from .render import render_1d_profile, render_2d_diagram, render_slice
+from .space import ErrorDimension, Location, SelectivitySpace
+
+__all__ = [
+    "DimensionImpact",
+    "Uncertainty",
+    "WorkloadErrorLog",
+    "classify_predicate",
+    "eliminate_low_impact_dimensions",
+    "measure_dimension_impacts",
+    "select_error_dimensions",
+    "PlanCostCache",
+    "PlanDiagram",
+    "coarse_subgrid",
+    "ContourBandResult",
+    "contour_focused_posp",
+    "diagram_from_band",
+    "DEFAULT_LAMBDA",
+    "ReducedAssignment",
+    "anorexic_reduce",
+    "reduced_diagram",
+    "ErrorDimension",
+    "Location",
+    "SelectivitySpace",
+    "render_1d_profile",
+    "render_2d_diagram",
+    "render_slice",
+]

@@ -1,0 +1,248 @@
+"""Plan diagrams: plan choice and optimal cost over the ESS grid.
+
+A *plan diagram* (Harish et al., VLDB 2007) colours every ESS location
+with the optimizer's plan choice there; the associated cost field is the
+POSP infimum curve/surface (PIC).  Diagrams can be produced exhaustively
+(one optimizer call per location) or approximately from a candidate plan
+set (cost every candidate everywhere, take the argmin) — the latter is
+how high-dimensional spaces stay tractable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import EssError
+from ..optimizer.optimizer import Optimizer, PlanRegistry
+from ..optimizer.plans import cost_plan
+from .space import Location, SelectivitySpace
+
+
+class PlanCostCache:
+    """Lazy per-plan cost fields over an ESS grid.
+
+    ``cost(plan_id, location)`` and ``cost_array(plan_id)`` evaluate the
+    plan's (abstract) cost function at grid locations, memoizing whole
+    arrays per plan — the workhorse behind every ESS-wide metric sweep.
+    """
+
+    def __init__(
+        self,
+        space: SelectivitySpace,
+        optimizer: Optimizer,
+        registry: PlanRegistry,
+    ):
+        self.space = space
+        self.optimizer = optimizer
+        self.registry = registry
+        self._arrays: Dict[int, np.ndarray] = {}
+
+    def cost_array(self, plan_id: int) -> np.ndarray:
+        """Full grid of costs for one plan (shape = space.shape).
+
+        Evaluated in a single vectorized pass: the assignment maps each
+        error pid to a broadcast grid of its axis values, and the plan's
+        (purely arithmetic, monotone) cost formulas evaluate elementwise
+        over the whole ESS at once.
+        """
+        array = self._arrays.get(plan_id)
+        if array is None:
+            plan = self.registry.plan(plan_id)
+            space = self.space
+            assignment: Dict[str, object] = dict(space.base_assignment)
+            meshes = np.meshgrid(*space.grids, indexing="ij")
+            for dim, mesh in zip(space.dimensions, meshes):
+                assignment[dim.pid] = mesh
+            est = cost_plan(
+                plan, self.optimizer.schema, self.optimizer.cost_model, assignment
+            )
+            array = np.broadcast_to(np.asarray(est.cost, dtype=float), space.shape).copy()
+            self._arrays[plan_id] = array
+        return array
+
+    def cost(self, plan_id: int, location: Location) -> float:
+        return float(self.cost_array(plan_id)[location])
+
+    def cost_at_values(self, plan_id: int, values: Sequence[float]) -> float:
+        """Cost at an arbitrary continuous point (used by q_run tracking)."""
+        plan = self.registry.plan(plan_id)
+        assignment = self.space.assignment_for(values)
+        est = cost_plan(
+            plan, self.optimizer.schema, self.optimizer.cost_model, assignment
+        )
+        return est.cost
+
+
+class PlanDiagram:
+    """Plan choice + optimal cost at every ESS grid location."""
+
+    def __init__(
+        self,
+        space: SelectivitySpace,
+        plan_ids: np.ndarray,
+        costs: np.ndarray,
+        registry: PlanRegistry,
+        cache: Optional[PlanCostCache] = None,
+    ):
+        if plan_ids.shape != space.shape or costs.shape != space.shape:
+            raise EssError("diagram arrays do not match the ESS grid shape")
+        self.space = space
+        self.plan_ids = plan_ids
+        self.costs = costs
+        self.registry = registry
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def exhaustive(
+        cls,
+        optimizer: Optimizer,
+        space: SelectivitySpace,
+        workers: Optional[int] = None,
+    ) -> "PlanDiagram":
+        """One optimizer call per grid location (the reference method).
+
+        POSP generation is "embarrassingly parallel" (§4.2): with
+        ``workers > 1`` the grid is partitioned across processes, each
+        optimizing its share independently; the parent merges the plans
+        into one registry.  Results are identical to the serial run.
+        """
+        registry = optimizer.registry(space.query)
+        plan_ids = np.empty(space.shape, dtype=np.int64)
+        costs = np.empty(space.shape, dtype=float)
+        if workers and workers > 1:
+            for location, plan, cost in _parallel_optimize(optimizer, space, workers):
+                plan_id, _ = registry.register(plan)
+                plan_ids[location] = plan_id
+                costs[location] = cost
+        else:
+            for location in space.locations():
+                assignment = space.assignment_at(location)
+                result = optimizer.optimize(space.query, assignment=assignment)
+                plan_ids[location] = result.plan_id
+                costs[location] = result.cost
+        cache = PlanCostCache(space, optimizer, registry)
+        return cls(space, plan_ids, costs, registry, cache)
+
+    @classmethod
+    def from_candidates(
+        cls,
+        optimizer: Optimizer,
+        space: SelectivitySpace,
+        seed_locations: Optional[Iterable[Location]] = None,
+    ) -> "PlanDiagram":
+        """Approximate diagram: optimize at seed locations to harvest
+        candidate plans, then cost every candidate everywhere and argmin.
+
+        With seeds on a coarse subgrid this is a standard Picasso-style
+        approximation; it converges to the exhaustive diagram as seeds
+        densify, and is exact wherever a seed sits.
+        """
+        registry = optimizer.registry(space.query)
+        if seed_locations is None:
+            seed_locations = coarse_subgrid(space, per_dim=4)
+        candidate_ids = set()
+        for location in seed_locations:
+            assignment = space.assignment_at(location)
+            result = optimizer.optimize(space.query, assignment=assignment)
+            candidate_ids.add(result.plan_id)
+        cache = PlanCostCache(space, optimizer, registry)
+        ordered = sorted(candidate_ids)
+        stacked = np.stack([cache.cost_array(pid) for pid in ordered])
+        argmin = np.argmin(stacked, axis=0)
+        costs = np.min(stacked, axis=0)
+        id_lookup = np.array(ordered, dtype=np.int64)
+        plan_ids = id_lookup[argmin]
+        return cls(space, plan_ids, costs, registry, cache)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def posp_plan_ids(self) -> List[int]:
+        """Distinct plan ids appearing in the diagram (the POSP set)."""
+        return sorted(int(p) for p in np.unique(self.plan_ids))
+
+    def plan_at(self, location: Location) -> int:
+        return int(self.plan_ids[location])
+
+    def cost_at(self, location: Location) -> float:
+        return float(self.costs[location])
+
+    def occupancy(self) -> Dict[int, int]:
+        """Number of grid locations owned by each plan."""
+        ids, counts = np.unique(self.plan_ids, return_counts=True)
+        return {int(i): int(c) for i, c in zip(ids, counts)}
+
+    @property
+    def cmin(self) -> float:
+        return float(self.costs[self.space.origin])
+
+    @property
+    def cmax(self) -> float:
+        return float(self.costs[self.space.corner])
+
+    def check_monotone(self) -> bool:
+        """Verify the PIC is non-decreasing along every axis (PCM check)."""
+        for axis in range(self.space.dimensionality):
+            diffs = np.diff(self.costs, axis=axis)
+            if np.any(diffs < -1e-6 * np.abs(self.costs.take(range(diffs.shape[axis]), axis=axis))):
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Parallel POSP generation (§4.2)
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_posp_worker(optimizer: Optimizer, space: SelectivitySpace):
+    _WORKER_STATE["optimizer"] = optimizer
+    _WORKER_STATE["space"] = space
+
+
+def _optimize_chunk(locations: List[Location]):
+    optimizer = _WORKER_STATE["optimizer"]
+    space = _WORKER_STATE["space"]
+    results = []
+    for location in locations:
+        assignment = space.assignment_at(location)
+        result = optimizer.optimize(space.query, assignment=assignment)
+        results.append((location, result.plan, result.cost))
+    return results
+
+
+def _parallel_optimize(optimizer: Optimizer, space: SelectivitySpace, workers: int):
+    """Optimize every grid location across ``workers`` processes."""
+    import multiprocessing as mp
+
+    locations = list(space.locations())
+    chunk_size = max(1, len(locations) // (workers * 4))
+    chunks = [
+        locations[i : i + chunk_size] for i in range(0, len(locations), chunk_size)
+    ]
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp
+    with ctx.Pool(
+        processes=workers, initializer=_init_posp_worker, initargs=(optimizer, space)
+    ) as pool:
+        for chunk_result in pool.map(_optimize_chunk, chunks):
+            yield from chunk_result
+
+
+def coarse_subgrid(space: SelectivitySpace, per_dim: int = 4) -> List[Location]:
+    """Evenly spaced seed locations, always including both diagonal corners."""
+    axes = []
+    for res in space.shape:
+        count = min(per_dim, res)
+        idx = np.unique(np.linspace(0, res - 1, count).round().astype(int))
+        axes.append(list(idx))
+    return list(itertools.product(*axes))

@@ -1,0 +1,223 @@
+"""Identifying the error-prone selectivity dimensions (§4.1, §8).
+
+Three complementary mechanisms from the paper:
+
+* **Uncertainty classification rules** (after Kabra & DeWitt, cited in
+  §4.1): each predicate is graded from NONE to VERY_HIGH uncertainty
+  based on what the statistics can and cannot promise.
+* **A workload error log**: observed estimate-vs-actual errors of past
+  executions flag predicates as error-prone.
+* **Dimension elimination by cost derivative** (§8, item iii): a
+  candidate dimension whose selectivity barely moves any optimal plan's
+  cost on a low-resolution sweep can be dropped from the ESS.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..catalog.statistics import DatabaseStatistics
+from ..exceptions import EssError
+from ..optimizer.optimizer import Optimizer
+from ..query.predicates import JoinPredicate, SelectionPredicate
+from ..query.query import Query
+from .space import ErrorDimension
+
+
+class Uncertainty(enum.IntEnum):
+    """Graded estimation uncertainty of one predicate (§4.1)."""
+
+    NONE = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    VERY_HIGH = 4
+
+
+def classify_predicate(
+    query: Query,
+    pid: str,
+    statistics: Optional[DatabaseStatistics],
+) -> Uncertainty:
+    """Apply the uncertainty-modelling rules to one predicate.
+
+    * no statistics at all -> VERY_HIGH (magic numbers);
+    * PK-FK equi-join -> NONE (derivable from schema constraints when the
+      whole PK side participates, §8);
+    * other equi-joins -> HIGH (the 1/max(ndv) formula assumes
+      uniformity);
+    * range selections with histograms -> LOW;
+    * equality selections -> LOW when the value is a tracked MCV,
+      MEDIUM otherwise (per-distinct uniformity assumption).
+    """
+    pred = query.predicate(pid)
+    if isinstance(pred, JoinPredicate):
+        if query.is_pk_fk_join(pred):
+            return Uncertainty.NONE
+        return Uncertainty.HIGH
+    if not isinstance(pred, SelectionPredicate):  # pragma: no cover
+        raise EssError(f"unknown predicate kind for {pid!r}")
+    col_stats = (
+        None if statistics is None else statistics.column(pred.table, pred.column)
+    )
+    if col_stats is None:
+        return Uncertainty.VERY_HIGH
+    if pred.is_range:
+        return Uncertainty.LOW if col_stats.histogram_bounds else Uncertainty.MEDIUM
+    if pred.op == "in":
+        return Uncertainty.MEDIUM  # per-value uniformity assumptions stack
+    if pred.value in col_stats.mcv_values:
+        return Uncertainty.LOW
+    return Uncertainty.MEDIUM
+
+
+def select_error_dimensions(
+    query: Query,
+    statistics: Optional[DatabaseStatistics],
+    threshold: Uncertainty = Uncertainty.MEDIUM,
+) -> List[str]:
+    """Predicates whose uncertainty is at or above ``threshold``.
+
+    The paper's fallback — "make all predicates selectivity dimensions" —
+    is ``threshold=Uncertainty.NONE``.
+    """
+    return [
+        pid
+        for pid in query.predicate_ids
+        if classify_predicate(query, pid, statistics) >= threshold
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Workload error log
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ErrorObservation:
+    """One recorded estimate-vs-actual pair for a predicate."""
+
+    pid: str
+    estimated: float
+    actual: float
+
+    @property
+    def error_factor(self) -> float:
+        """Multiplicative error, always >= 1."""
+        lo, hi = sorted((max(self.estimated, 1e-12), max(self.actual, 1e-12)))
+        return hi / lo
+
+
+class WorkloadErrorLog:
+    """History of estimation errors observed across query executions.
+
+    The alternative dimension-identification mechanism of §4.1: a
+    predicate that has repeatedly shown large multiplicative errors in
+    the workload history becomes an ESS dimension for future queries.
+    """
+
+    def __init__(self):
+        self._observations: Dict[str, List[ErrorObservation]] = {}
+
+    def record(self, pid: str, estimated: float, actual: float):
+        entry = ErrorObservation(pid, estimated, actual)
+        self._observations.setdefault(pid, []).append(entry)
+
+    def observations(self, pid: str) -> List[ErrorObservation]:
+        return list(self._observations.get(pid, []))
+
+    def worst_error(self, pid: str) -> float:
+        entries = self._observations.get(pid)
+        if not entries:
+            return 1.0
+        return max(entry.error_factor for entry in entries)
+
+    def error_prone_pids(self, factor: float = 2.0) -> List[str]:
+        """Predicates whose worst observed error exceeds ``factor``."""
+        if factor < 1.0:
+            raise EssError("error factor threshold must be >= 1")
+        return sorted(
+            pid for pid in self._observations if self.worst_error(pid) > factor
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dimension elimination by cost derivative (§8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DimensionImpact:
+    """Measured cost impact of one candidate dimension."""
+
+    dimension: ErrorDimension
+    cost_span: float  # max/min optimal cost along the dimension's sweep
+
+    @property
+    def negligible(self) -> bool:
+        return self.cost_span < 1.0 + 1e-9
+
+
+def measure_dimension_impacts(
+    optimizer: Optimizer,
+    query: Query,
+    dimensions: Sequence[ErrorDimension],
+    base_assignment: Mapping[str, float],
+    resolution: int = 4,
+) -> List[DimensionImpact]:
+    """Low-resolution sweep of each candidate dimension in isolation.
+
+    Each dimension is swept over ``resolution`` log-spaced points with the
+    other candidates pinned at their geometric midpoints; the recorded
+    span is the ratio between the largest and smallest optimal cost seen.
+    """
+    if resolution < 2:
+        raise EssError("derivative mapping needs at least 2 points per dim")
+    midpoints = {
+        dim.pid: math.sqrt(dim.lo * dim.hi) for dim in dimensions
+    }
+    impacts = []
+    for dim in dimensions:
+        costs = []
+        for i in range(resolution):
+            t = i / (resolution - 1)
+            value = dim.lo * (dim.hi / dim.lo) ** t
+            assignment = dict(base_assignment)
+            assignment.update(midpoints)
+            assignment[dim.pid] = value
+            result = optimizer.optimize(query, assignment=assignment)
+            costs.append(result.cost)
+        impacts.append(
+            DimensionImpact(dimension=dim, cost_span=max(costs) / min(costs))
+        )
+    return impacts
+
+
+def eliminate_low_impact_dimensions(
+    optimizer: Optimizer,
+    query: Query,
+    dimensions: Sequence[ErrorDimension],
+    base_assignment: Mapping[str, float],
+    min_span: float = 1.2,
+    resolution: int = 4,
+) -> Tuple[List[ErrorDimension], List[DimensionImpact]]:
+    """Drop candidate dimensions whose cost impact is marginal (§8).
+
+    A dimension is kept iff sweeping it changes the optimal cost by at
+    least ``min_span`` (a ratio).  Returns ``(kept, impacts)``; at least
+    one dimension is always kept (the highest-impact one) so the ESS
+    never degenerates.
+    """
+    if not dimensions:
+        raise EssError("no candidate dimensions")
+    impacts = measure_dimension_impacts(
+        optimizer, query, dimensions, base_assignment, resolution
+    )
+    kept = [imp.dimension for imp in impacts if imp.cost_span >= min_span]
+    if not kept:
+        best = max(impacts, key=lambda imp: imp.cost_span)
+        kept = [best.dimension]
+    return kept, impacts

@@ -1,0 +1,135 @@
+"""POSP generation, including the contour-focused exploration of §4.2.
+
+The exhaustive method lives on :class:`~repro.ess.diagram.PlanDiagram`;
+this module adds the paper's cheaper strategy: only a narrow band of
+locations around each isocost contour is optimized, found by recursively
+subdividing ESS hypercubes and pruning the ones no contour passes through
+(a contour passes through a hypercube iff its cost lies within the cost
+range established by the corners of the hypercube's principal diagonal —
+valid because the PIC is monotone).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import EssError
+from ..optimizer.optimizer import Optimizer
+from .diagram import PlanCostCache, PlanDiagram
+from .space import Location, SelectivitySpace
+
+
+@dataclass
+class ContourBandResult:
+    """Sparse POSP knowledge produced by the contour-focused exploration."""
+
+    #: location -> (plan_id, optimal cost) for every optimized location.
+    optimized: Dict[Location, Tuple[int, float]]
+    #: Number of optimizer invocations spent.
+    optimizer_calls: int
+    #: Number of hypercubes pruned without optimizing their interior.
+    pruned_boxes: int
+
+    @property
+    def posp_plan_ids(self) -> List[int]:
+        return sorted({plan_id for plan_id, _ in self.optimized.values()})
+
+
+def contour_focused_posp(
+    optimizer: Optimizer,
+    space: SelectivitySpace,
+    contour_costs: Sequence[float],
+    min_box_edge: int = 2,
+) -> ContourBandResult:
+    """Optimize only near the isocost contours.
+
+    Parameters
+    ----------
+    contour_costs:
+        The IC step costs (from :func:`repro.core.contours.contour_costs`).
+    min_box_edge:
+        Boxes whose longest edge is at most this are optimized exhaustively.
+    """
+    if not contour_costs:
+        raise EssError("contour_focused_posp needs at least one contour cost")
+    sorted_costs = sorted(contour_costs)
+    optimized: Dict[Location, Tuple[int, float]] = {}
+    calls = 0
+    pruned = 0
+
+    def optimize_at(location: Location) -> Tuple[int, float]:
+        nonlocal calls
+        cached = optimized.get(location)
+        if cached is not None:
+            return cached
+        assignment = space.assignment_at(location)
+        result = optimizer.optimize(space.query, assignment=assignment)
+        calls += 1
+        entry = (result.plan_id, result.cost)
+        optimized[location] = entry
+        return entry
+
+    def any_contour_in(clo: float, chi: float) -> bool:
+        """Does any IC cost fall within [clo, chi]?"""
+        i = np.searchsorted(sorted_costs, clo)
+        return i < len(sorted_costs) and sorted_costs[i] <= chi
+
+    def recurse(lo: Location, hi: Location):
+        nonlocal pruned
+        # Principal-diagonal corners bound the PIC over the box (PCM).
+        _, cost_lo = optimize_at(lo)
+        _, cost_hi = optimize_at(hi)
+        if not any_contour_in(cost_lo, cost_hi):
+            pruned += 1
+            return
+        edges = [h - l for l, h in zip(lo, hi)]
+        if max(edges) <= min_box_edge:
+            for location in itertools.product(
+                *(range(l, h + 1) for l, h in zip(lo, hi))
+            ):
+                optimize_at(location)
+            return
+        # Split along the longest edge.
+        axis = max(range(len(edges)), key=lambda d: edges[d])
+        mid = (lo[axis] + hi[axis]) // 2
+        lo_a, hi_a = list(lo), list(hi)
+        hi_a[axis] = mid
+        recurse(tuple(lo_a), tuple(hi_a))
+        lo_b, hi_b = list(lo), list(hi)
+        lo_b[axis] = mid  # overlap at the midplane keeps the band contiguous
+        recurse(tuple(lo_b), tuple(hi_b))
+
+    recurse(space.origin, space.corner)
+    return ContourBandResult(optimized=optimized, optimizer_calls=calls, pruned_boxes=pruned)
+
+
+def diagram_from_band(
+    optimizer: Optimizer,
+    space: SelectivitySpace,
+    band: ContourBandResult,
+) -> PlanDiagram:
+    """Densify a contour band into a full (approximate) plan diagram.
+
+    The band's POSP plans are costed over the whole grid and the argmin
+    taken — exact at every location the band optimized, interpolating
+    plan choice elsewhere.
+    """
+    registry = optimizer.registry(space.query)
+    cache = PlanCostCache(space, optimizer, registry)
+    plan_ids_sorted = band.posp_plan_ids
+    if not plan_ids_sorted:
+        raise EssError("contour band contains no plans")
+    stacked = np.stack([cache.cost_array(pid) for pid in plan_ids_sorted])
+    argmin = np.argmin(stacked, axis=0)
+    costs = np.min(stacked, axis=0)
+    lookup = np.array(plan_ids_sorted, dtype=np.int64)
+    plan_ids = lookup[argmin]
+    # Band locations are authoritative: overwrite with the exact choices.
+    for location, (plan_id, cost) in band.optimized.items():
+        plan_ids[location] = plan_id
+        costs[location] = cost
+    return PlanDiagram(space, plan_ids, costs, registry, cache)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the plan-bouquet reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class CatalogError(ReproError):
+    """Raised for schema/catalog inconsistencies (unknown table, column...)."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (disconnected join graph, bad predicate)."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer cannot produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised for run-time execution failures."""
+
+
+class BudgetExceeded(ExecutionError):
+    """Raised by the executor when a cost-limited execution hits its budget.
+
+    Carries the instrumentation snapshot so the caller can harvest the
+    partial-execution knowledge (tuple counters, spent cost).
+    """
+
+    def __init__(self, message, spent=None, instrumentation=None):
+        super().__init__(message)
+        self.spent = spent
+        self.instrumentation = instrumentation
+
+
+class EssError(ReproError):
+    """Raised for error-selectivity-space construction problems."""
+
+
+class BouquetError(ReproError):
+    """Raised when bouquet identification or execution cannot proceed."""

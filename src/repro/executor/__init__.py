@@ -1,0 +1,20 @@
+"""Instrumented, budget-limited, spill-capable execution engine."""
+
+from .arrays import Batch, apply_selections, join_indices, merge_batches, qualify
+from .engine import CostPerturbation, ExecutionEngine, ExecutionResult
+from .instrumentation import Instrumentation, NodeCounters
+from .service import RealExecutionService
+
+__all__ = [
+    "Batch",
+    "apply_selections",
+    "join_indices",
+    "merge_batches",
+    "qualify",
+    "CostPerturbation",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "Instrumentation",
+    "NodeCounters",
+    "RealExecutionService",
+]

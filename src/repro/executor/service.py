@@ -1,0 +1,159 @@
+"""Bridging the bouquet driver to the real execution engine.
+
+:class:`RealExecutionService` implements the
+:class:`~repro.core.runtime.ExecutionService` protocol on top of
+:class:`~repro.executor.engine.ExecutionEngine`, including run-time
+selectivity monitoring (§5.2): after each spilled execution, the error
+node's tuple counter is divided by the product of its (error-free, hence
+exactly knowable) input cardinalities, yielding a safe lower bound for
+the error selectivity — exact once the node finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from ..core.bouquet import PlanBouquet
+from ..core.runtime import ExecutionOutcome, ExecutionService, LearnedSelectivity
+from ..exceptions import ExecutionError
+from ..optimizer.plans import IndexLookup, IndexScan, Join, PlanNode, SeqScan
+from ..query.predicates import SelectionPredicate
+from ..query.query import Query
+from .arrays import selection_mask
+from .engine import ExecutionEngine
+
+
+class RealExecutionService(ExecutionService):
+    """Executes bouquet plans for real, against generated data."""
+
+    def __init__(self, bouquet: PlanBouquet, engine: ExecutionEngine):
+        self.bouquet = bouquet
+        self.engine = engine
+        self.query: Query = bouquet.space.query
+        self._dim_pids = {dim.pid for dim in bouquet.space.dimensions}
+        self._cardinality_cache: Dict[str, float] = {}
+        #: Trace of (plan_id, spilled, rows) for analysis/tests.
+        self.history: List[Tuple[int, bool, int]] = []
+
+    # ------------------------------------------------------------------
+
+    def _plan(self, plan_id: int) -> PlanNode:
+        return self.bouquet.registry.plan(plan_id)
+
+    def run_full(self, plan_id: int, budget: float) -> ExecutionOutcome:
+        plan = self._plan(plan_id)
+        result = self.engine.execute(self.query, plan, budget=budget)
+        self.history.append((plan_id, False, result.rows))
+        return ExecutionOutcome(
+            completed=result.completed,
+            cost_spent=result.spent,
+            result_rows=result.rows if result.completed else None,
+        )
+
+    def run_spilled(
+        self, plan_id: int, budget: float, unlearned_pids: FrozenSet[str]
+    ) -> ExecutionOutcome:
+        plan = self._plan(plan_id)
+        result, node = self.engine.execute_spilled(
+            self.query, plan, unlearned_pids, budget=budget
+        )
+        self.history.append((plan_id, True, result.rows))
+        if node is None:
+            # No unlearned error node: behaves like a full run.
+            return ExecutionOutcome(
+                completed=result.completed,
+                cost_spent=result.spent,
+                result_rows=result.rows if result.completed else None,
+            )
+        learned = self._learn(node, result, unlearned_pids)
+        # "completed" for a spilled run means the spill node finished (its
+        # learning is exact); the *query* is only ever completed by full
+        # runs — the driver treats spilled completions accordingly.
+        return ExecutionOutcome(
+            completed=result.completed,
+            cost_spent=result.spent,
+            learned=learned,
+        )
+
+    # ------------------------------------------------------------------
+    # Selectivity monitoring (§5.2)
+    # ------------------------------------------------------------------
+
+    def _learn(
+        self, node: PlanNode, result, unlearned_pids: FrozenSet[str]
+    ) -> List[LearnedSelectivity]:
+        target_pids = sorted((node.local_pids & unlearned_pids) & self._dim_pids)
+        if len(target_pids) != 1:
+            # Joint multi-predicate learning cannot be decomposed safely
+            # into per-dimension lower bounds; skip (the budget-doubling
+            # progression still guarantees termination).
+            return []
+        pid = target_pids[0]
+        tuples_out = result.instrumentation.tuples_out(node)
+        exact = result.completed
+        denominator = self._denominator(node)
+        if denominator <= 0:
+            return []
+        dim = next(d for d in self.bouquet.space.dimensions if d.pid == pid)
+        value = max(tuples_out / denominator, dim.lo)
+        return [LearnedSelectivity(pid, float(value), exact=exact)]
+
+    def _denominator(self, node: PlanNode) -> float:
+        """Product of the error node's input cardinalities.
+
+        All inputs of the *first* error node are error-free subtrees, so
+        their cardinalities are exactly knowable; they are measured once
+        on the actual data and cached by subtree signature.
+        """
+        if isinstance(node, Join):
+            left = self._subtree_cardinality(node.left)
+            if node.algo == "inl":
+                inner: IndexLookup = node.right  # type: ignore[assignment]
+                right = self._filtered_table_cardinality(
+                    inner.table, inner.filter_pids
+                )
+            else:
+                right = self._subtree_cardinality(node.right)
+            return left * right
+        if isinstance(node, (SeqScan, IndexScan)):
+            # The error predicate sits on a scan; the denominator is the
+            # table cardinality filtered by the *other* (error-free) preds.
+            other = [
+                pid
+                for pid in node.local_pids
+                if pid not in self._dim_pids
+            ]
+            return self._filtered_table_cardinality(node.table, tuple(sorted(other)))
+        raise ExecutionError(f"cannot compute denominator for {node.signature()}")
+
+    def _subtree_cardinality(self, node: PlanNode) -> float:
+        """Exact output cardinality of an error-free subtree (cached)."""
+        key = node.signature()
+        cached = self._cardinality_cache.get(key)
+        if cached is None:
+            result = self.engine.execute(self.query, node, budget=None)
+            cached = float(result.rows)
+            self._cardinality_cache[key] = cached
+        return cached
+
+    def _filtered_table_cardinality(self, table: str, filter_pids) -> float:
+        key = f"{table}|{','.join(filter_pids)}"
+        cached = self._cardinality_cache.get(key)
+        if cached is None:
+            rows = self.engine.schema.table(table).row_count
+            if not filter_pids:
+                cached = float(rows)
+            else:
+                data = self.engine.database.table(table)
+                batch = {f"{table}.{col}": arr for col, arr in data.items()}
+                mask = np.ones(rows, dtype=bool)
+                for pid in filter_pids:
+                    pred = self.query.predicate(pid)
+                    if not isinstance(pred, SelectionPredicate):
+                        raise ExecutionError(f"pid {pid!r} is not a selection")
+                    mask &= selection_mask(batch, pred)
+                cached = float(mask.sum())
+            self._cardinality_cache[key] = cached
+        return cached

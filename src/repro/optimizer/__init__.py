@@ -1,0 +1,54 @@
+"""Cost-based optimizer with selectivity injection."""
+
+from .cost_model import COMMERCIAL_COST_MODEL, POSTGRES_COST_MODEL, CostModel
+from .explain import explain
+from .serialize import plan_from_dict, plan_to_dict
+from .optimizer import OptimizedPlan, Optimizer, PlanRegistry
+from .plans import (
+    Aggregate,
+    IndexLookup,
+    IndexScan,
+    Join,
+    NodeEstimate,
+    PlanNode,
+    SeqScan,
+    cost_plan,
+    error_node_depth,
+    first_error_node,
+    spilled_cost,
+)
+from .selectivity import (
+    SelectivityAssignment,
+    actual_selectivities,
+    estimate_selectivities,
+    inject,
+    validate_assignment,
+)
+
+__all__ = [
+    "Aggregate",
+    "explain",
+    "plan_from_dict",
+    "plan_to_dict",
+    "COMMERCIAL_COST_MODEL",
+    "POSTGRES_COST_MODEL",
+    "CostModel",
+    "OptimizedPlan",
+    "Optimizer",
+    "PlanRegistry",
+    "IndexLookup",
+    "IndexScan",
+    "Join",
+    "NodeEstimate",
+    "PlanNode",
+    "SeqScan",
+    "cost_plan",
+    "error_node_depth",
+    "first_error_node",
+    "spilled_cost",
+    "SelectivityAssignment",
+    "actual_selectivities",
+    "estimate_selectivities",
+    "inject",
+    "validate_assignment",
+]

@@ -1,0 +1,84 @@
+"""EXPLAIN-style plan rendering.
+
+Pretty-prints a plan tree with per-node cardinality and cost estimates at
+a given selectivity assignment — the human-facing counterpart of abstract
+plan costing, handy in examples, debugging, and the bouquet's
+``describe`` output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..catalog.schema import Schema
+from .cost_model import CostModel
+from .plans import (
+    Aggregate,
+    CostContext,
+    IndexLookup,
+    IndexScan,
+    Join,
+    PlanNode,
+    SeqScan,
+)
+
+_NODE_LABEL = {
+    "hash": "Hash Join",
+    "merge": "Merge Join",
+    "nl": "Nested Loop",
+    "inl": "Index Nested Loop",
+}
+
+
+def explain(
+    plan: PlanNode,
+    schema: Schema,
+    cost_model: CostModel,
+    assignment: Mapping[str, float],
+) -> str:
+    """Render a plan tree with estimated rows and cumulative costs."""
+    ctx = CostContext(schema, cost_model, assignment)
+    lines: List[str] = []
+    _walk(plan, ctx, lines, depth=0)
+    return "\n".join(lines)
+
+
+def _describe_node(node: PlanNode) -> str:
+    if isinstance(node, SeqScan):
+        filters = f" filter: {', '.join(node.filter_pids)}" if node.filter_pids else ""
+        return f"Seq Scan on {node.table}{filters}"
+    if isinstance(node, IndexScan):
+        residual = (
+            f" filter: {', '.join(node.filter_pids)}" if node.filter_pids else ""
+        )
+        return f"Index Scan on {node.table} cond: {node.index_pid}{residual}"
+    if isinstance(node, IndexLookup):
+        residual = (
+            f" filter: {', '.join(node.filter_pids)}" if node.filter_pids else ""
+        )
+        return f"Index Lookup on {node.table}.{node.lookup_column}{residual}"
+    if isinstance(node, Join):
+        label = _NODE_LABEL[node.algo]
+        return f"{label} cond: {', '.join(node.join_pids)}"
+    if isinstance(node, Aggregate):
+        if node.group_columns:
+            groups = ", ".join(f"{t}.{c}" for t, c in node.group_columns)
+            return f"HashAggregate group by: {groups}"
+        return "Aggregate count(*)"
+    return node.signature()
+
+
+def _walk(node: PlanNode, ctx: CostContext, lines: List[str], depth: int):
+    indent = "  " * depth
+    arrow = "-> " if depth else ""
+    if isinstance(node, IndexLookup):
+        # Costed only through its parent INL join.
+        lines.append(f"{indent}{arrow}{_describe_node(node)}")
+    else:
+        est = node.estimate(ctx)
+        lines.append(
+            f"{indent}{arrow}{_describe_node(node)}  "
+            f"(rows={est.rows:.0f} cost={est.cost:.1f})"
+        )
+    for child in node.children:
+        _walk(child, ctx, lines, depth + 1)

@@ -1,0 +1,214 @@
+"""System-R style dynamic-programming join enumeration.
+
+DPsize over connected subgraphs of the query's join graph (no cross
+products).  For every subset the cheapest plan is kept; physical
+alternatives considered at each join are hash (both build sides), sort
+merge, materialized nested loops, and index nested loops when the inner
+side is a single base table with an index on its join column.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from ..catalog.schema import Schema
+from ..exceptions import OptimizerError
+from ..query.query import Query
+from .cost_model import CostModel
+from .plans import (
+    CostContext,
+    IndexLookup,
+    IndexScan,
+    Join,
+    PlanNode,
+    SeqScan,
+)
+
+
+def access_paths(query: Query, table: str) -> List[PlanNode]:
+    """Candidate access paths for one base table.
+
+    Always a sequential scan; plus, for every selection predicate on an
+    indexed column, an index scan driven by that predicate with the
+    remaining selections as residual filters.
+    """
+    selections = query.selections_on(table)
+    all_pids = tuple(sel.pid for sel in selections)
+    paths: List[PlanNode] = [SeqScan(table, all_pids)]
+    for sel in selections:
+        if sel.indexable and query.schema.has_index(table, sel.column):
+            residuals = tuple(pid for pid in all_pids if pid != sel.pid)
+            paths.append(IndexScan(table, sel.pid, residuals))
+    return paths
+
+
+def _index_lookup_inner(query: Query, table: str, join_column: str) -> IndexLookup:
+    """INL inner side: index lookup on the join column, residual filters."""
+    residuals = tuple(sel.pid for sel in query.selections_on(table))
+    return IndexLookup(table, join_column, residuals)
+
+
+class JoinEnumerator:
+    """DP join-order search for one query.
+
+    The enumerator is constructed once per query; :meth:`best_plan` re-runs
+    the DP for each selectivity assignment (plan choice depends on the
+    selectivities, which is the whole point of POSP generation).
+    """
+
+    def __init__(self, query: Query, schema: Schema):
+        if not query.tables:
+            raise OptimizerError("query has no tables")
+        self.query = query
+        self.schema = schema
+        self._tables = tuple(sorted(query.tables))
+        self._access_paths: Dict[str, List[PlanNode]] = {
+            table: access_paths(query, table) for table in self._tables
+        }
+        # Precompute connected subsets and their (left, right) partitions.
+        self._partitions = self._connected_partitions()
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+
+    def _connected_subsets(self) -> List[FrozenSet[str]]:
+        graph = self.query.join_graph
+        subsets = []
+        n = len(self._tables)
+        for size in range(1, n + 1):
+            for combo in combinations(self._tables, size):
+                subset = frozenset(combo)
+                if size == 1 or graph.is_connected(subset):
+                    subsets.append(subset)
+        return subsets
+
+    def _connected_partitions(
+        self,
+    ) -> Dict[FrozenSet[str], List[Tuple[FrozenSet[str], FrozenSet[str], Tuple[str, ...]]]]:
+        """For each connected subset, all (left, right, join_pids) splits.
+
+        Both halves must be connected and joined by at least one predicate.
+        Each unordered split appears once; the DP tries both orientations.
+        """
+        graph = self.query.join_graph
+        connected = set(self._connected_subsets())
+        partitions: Dict[
+            FrozenSet[str], List[Tuple[FrozenSet[str], FrozenSet[str], Tuple[str, ...]]]
+        ] = {}
+        for subset in connected:
+            if len(subset) < 2:
+                continue
+            ordered = sorted(subset)
+            splits = []
+            seen = set()
+            # Enumerate proper non-empty subsets; fix the first element to
+            # the left side to halve the work.
+            rest = ordered[1:]
+            first = ordered[0]
+            for size in range(0, len(rest) + 1):
+                for combo in combinations(rest, size):
+                    left = frozenset((first,) + combo)
+                    right = subset - left
+                    if not right:
+                        continue
+                    if left not in connected or right not in connected:
+                        continue
+                    joins = graph.joins_connecting(left, right)
+                    if not joins:
+                        continue
+                    key = (left, right)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    pids = tuple(sorted(j.pid for j in joins))
+                    splits.append((left, right, pids))
+            partitions[subset] = splits
+        return partitions
+
+    # ------------------------------------------------------------------
+    # DP search
+    # ------------------------------------------------------------------
+
+    def best_plan(
+        self, cost_model: CostModel, assignment: Mapping[str, float]
+    ) -> Tuple[PlanNode, float, float]:
+        """Cheapest plan at ``assignment``; returns ``(plan, cost, rows)``."""
+        ctx = CostContext(self.schema, cost_model, assignment)
+        best: Dict[FrozenSet[str], Tuple[PlanNode, float, float]] = {}
+
+        for table in self._tables:
+            candidates = self._access_paths[table]
+            entry = None
+            for path in candidates:
+                est = path.estimate(ctx)
+                if entry is None or est.cost < entry[1]:
+                    entry = (path, est.cost, est.rows)
+            best[frozenset((table,))] = entry
+
+        subsets_by_size: Dict[int, List[FrozenSet[str]]] = {}
+        for subset in self._partitions:
+            subsets_by_size.setdefault(len(subset), []).append(subset)
+
+        for size in range(2, len(self._tables) + 1):
+            for subset in subsets_by_size.get(size, []):
+                entry = None
+                for left_set, right_set, join_pids in self._partitions[subset]:
+                    left = best.get(left_set)
+                    right = best.get(right_set)
+                    if left is None or right is None:
+                        continue
+                    for plan in self._join_candidates(
+                        left[0], right[0], left_set, right_set, join_pids, cost_model
+                    ):
+                        est = plan.estimate(ctx)
+                        if entry is None or est.cost < entry[1]:
+                            entry = (plan, est.cost, est.rows)
+                if entry is None:
+                    raise OptimizerError(
+                        f"no join plan found for subset {sorted(subset)}"
+                    )
+                best[subset] = entry
+
+        top = best.get(frozenset(self._tables))
+        if top is None:
+            raise OptimizerError("join enumeration failed to cover all tables")
+        return top
+
+    def _join_candidates(
+        self,
+        left_plan: PlanNode,
+        right_plan: PlanNode,
+        left_set: FrozenSet[str],
+        right_set: FrozenSet[str],
+        join_pids: Tuple[str, ...],
+        cost_model: CostModel,
+    ) -> List[PlanNode]:
+        """Physical join alternatives for one (left, right) split."""
+        plans: List[PlanNode] = [
+            Join("hash", left_plan, right_plan, join_pids),
+            Join("hash", right_plan, left_plan, join_pids),
+        ]
+        if cost_model.enable_mergejoin:
+            plans.append(Join("merge", left_plan, right_plan, join_pids))
+        if cost_model.enable_nestloop:
+            plans.append(Join("nl", left_plan, right_plan, join_pids))
+            plans.append(Join("nl", right_plan, left_plan, join_pids))
+        # Index nested loops: inner must be a lone base table with an index
+        # on its join column, and a single join predicate drives the lookup.
+        if len(join_pids) == 1:
+            join = self.query.predicate(join_pids[0])
+            for outer_plan, outer_set, inner_set in (
+                (left_plan, left_set, right_set),
+                (right_plan, right_set, left_set),
+            ):
+                if len(inner_set) != 1:
+                    continue
+                (inner_table,) = inner_set
+                column = join.column_for(inner_table)
+                if not self.schema.has_index(inner_table, column):
+                    continue
+                inner = _index_lookup_inner(self.query, inner_table, column)
+                plans.append(Join("inl", outer_plan, inner, join_pids))
+        return plans

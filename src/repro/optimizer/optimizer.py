@@ -1,0 +1,179 @@
+"""Optimizer facade: optimize a query at any selectivity point.
+
+This is the "optimizer with selectivity injection" of §4.2.  The facade
+owns a per-query :class:`~repro.optimizer.joinorder.JoinEnumerator` cache
+and a :class:`PlanRegistry` so structurally identical plans returned at
+different ESS points share one identity (P1, P2, ...), exactly as in the
+paper's POSP figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..catalog.schema import Schema
+from ..catalog.statistics import DatabaseStatistics
+from ..exceptions import OptimizerError
+from ..query.query import Query
+from .cost_model import POSTGRES_COST_MODEL, CostModel
+from .joinorder import JoinEnumerator
+from .plans import Aggregate, NodeEstimate, PlanNode, cost_plan
+from .selectivity import (
+    SelectivityAssignment,
+    estimate_selectivities,
+    inject,
+    validate_assignment,
+)
+
+
+@dataclass
+class OptimizedPlan:
+    """Result of one optimizer call."""
+
+    plan: PlanNode
+    cost: float
+    rows: float
+    plan_id: int
+    signature: str
+
+    @property
+    def label(self) -> str:
+        return f"P{self.plan_id}"
+
+
+class PlanRegistry:
+    """Assigns small stable integer ids to distinct plan signatures."""
+
+    def __init__(self):
+        self._ids: Dict[str, int] = {}
+        self._plans: Dict[int, PlanNode] = {}
+
+    def register(self, plan: PlanNode) -> Tuple[int, str]:
+        signature = plan.signature()
+        plan_id = self._ids.get(signature)
+        if plan_id is None:
+            plan_id = len(self._ids) + 1
+            self._ids[signature] = plan_id
+            self._plans[plan_id] = plan
+        return plan_id, signature
+
+    def plan(self, plan_id: int) -> PlanNode:
+        try:
+            return self._plans[plan_id]
+        except KeyError:
+            raise OptimizerError(f"unknown plan id {plan_id}") from None
+
+    def __len__(self):
+        return len(self._ids)
+
+    @property
+    def plan_ids(self) -> List[int]:
+        return sorted(self._plans)
+
+
+class Optimizer:
+    """Cost-based optimizer with selectivity injection.
+
+    Parameters
+    ----------
+    schema:
+        Catalog the queries run against.
+    statistics:
+        Optimizer statistics used for the *estimated* (non-injected)
+        selectivities.  May be ``None``, in which case magic numbers apply.
+    cost_model:
+        Cost constants; swap in ``COMMERCIAL_COST_MODEL`` for the COM engine.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        statistics: Optional[DatabaseStatistics] = None,
+        cost_model: CostModel = POSTGRES_COST_MODEL,
+    ):
+        self.schema = schema
+        self.statistics = statistics
+        self.cost_model = cost_model
+        self._enumerators: Dict[str, JoinEnumerator] = {}
+        self._registries: Dict[str, PlanRegistry] = {}
+
+    # ------------------------------------------------------------------
+
+    def registry(self, query: Query) -> PlanRegistry:
+        """Plan registry shared by every optimization of ``query``."""
+        key = query.fingerprint
+        registry = self._registries.get(key)
+        if registry is None:
+            registry = PlanRegistry()
+            self._registries[key] = registry
+        return registry
+
+    def _enumerator(self, query: Query) -> JoinEnumerator:
+        key = query.fingerprint
+        enum = self._enumerators.get(key)
+        if enum is None:
+            enum = JoinEnumerator(query, self.schema)
+            self._enumerators[key] = enum
+        return enum
+
+    # ------------------------------------------------------------------
+
+    def estimated_assignment(self, query: Query) -> SelectivityAssignment:
+        """The native optimizer's estimated selectivities for the query."""
+        return estimate_selectivities(query, self.statistics)
+
+    def optimize(
+        self,
+        query: Query,
+        assignment: Optional[Mapping[str, float]] = None,
+        injected: Optional[Mapping[str, float]] = None,
+    ) -> OptimizedPlan:
+        """Find the cheapest plan.
+
+        ``assignment`` supplies a full pid -> selectivity map; if omitted,
+        estimated selectivities are used.  ``injected`` overrides specific
+        pids on top of that base (the injection API of §4.2).
+        """
+        if assignment is None:
+            assignment = self.estimated_assignment(query)
+        if injected:
+            assignment = inject(assignment, injected)
+        validate_assignment(query, assignment)
+        if len(query.tables) == 1:
+            plan, cost, rows = self._best_single_table(query, assignment)
+        else:
+            plan, cost, rows = self._enumerator(query).best_plan(
+                self.cost_model, assignment
+            )
+        if query.aggregate:
+            plan = Aggregate(plan, query.group_by)
+            est = cost_plan(plan, self.schema, self.cost_model, assignment)
+            cost, rows = est.cost, est.rows
+        plan_id, signature = self.registry(query).register(plan)
+        return OptimizedPlan(
+            plan=plan, cost=cost, rows=rows, plan_id=plan_id, signature=signature
+        )
+
+    def _best_single_table(
+        self, query: Query, assignment: Mapping[str, float]
+    ) -> Tuple[PlanNode, float, float]:
+        from .joinorder import access_paths
+
+        best = None
+        for path in access_paths(query, query.tables[0]):
+            est = cost_plan(path, self.schema, self.cost_model, assignment)
+            if best is None or est.cost < best[1]:
+                best = (path, est.cost, est.rows)
+        if best is None:
+            raise OptimizerError("no access path for single-table query")
+        return best
+
+    # ------------------------------------------------------------------
+
+    def cost(
+        self, query: Query, plan: PlanNode, assignment: Mapping[str, float]
+    ) -> NodeEstimate:
+        """Abstract plan costing: cost an arbitrary plan at a point."""
+        validate_assignment(query, assignment)
+        return cost_plan(plan, self.schema, self.cost_model, assignment)

@@ -1,0 +1,81 @@
+"""Plan-tree (de)serialization.
+
+Plans are structural objects, so they round-trip through plain dicts /
+JSON.  Used to persist compiled bouquets for the paper's "canned query"
+scenario (§4.2), where the expensive compile-time phase is run offline
+and reused across invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..exceptions import OptimizerError
+from .plans import Aggregate, IndexLookup, IndexScan, Join, PlanNode, SeqScan
+
+
+def plan_to_dict(plan: PlanNode) -> Dict[str, Any]:
+    """Serialize a plan tree to a JSON-friendly dict."""
+    if isinstance(plan, SeqScan):
+        return {
+            "node": "seq_scan",
+            "table": plan.table,
+            "filters": list(plan.filter_pids),
+        }
+    if isinstance(plan, IndexScan):
+        return {
+            "node": "index_scan",
+            "table": plan.table,
+            "index_pid": plan.index_pid,
+            "filters": list(plan.filter_pids),
+        }
+    if isinstance(plan, IndexLookup):
+        return {
+            "node": "index_lookup",
+            "table": plan.table,
+            "column": plan.lookup_column,
+            "filters": list(plan.filter_pids),
+        }
+    if isinstance(plan, Join):
+        return {
+            "node": "join",
+            "algo": plan.algo,
+            "join_pids": list(plan.join_pids),
+            "left": plan_to_dict(plan.left),
+            "right": plan_to_dict(plan.right),
+        }
+    if isinstance(plan, Aggregate):
+        return {
+            "node": "aggregate",
+            "group_columns": [list(gc) for gc in plan.group_columns],
+            "child": plan_to_dict(plan.child),
+        }
+    raise OptimizerError(f"cannot serialize node {plan.signature()}")
+
+
+def plan_from_dict(data: Dict[str, Any]) -> PlanNode:
+    """Reconstruct a plan tree from :func:`plan_to_dict` output."""
+    kind = data.get("node")
+    if kind == "seq_scan":
+        return SeqScan(data["table"], tuple(data.get("filters", ())))
+    if kind == "index_scan":
+        return IndexScan(
+            data["table"], data["index_pid"], tuple(data.get("filters", ()))
+        )
+    if kind == "index_lookup":
+        return IndexLookup(
+            data["table"], data["column"], tuple(data.get("filters", ()))
+        )
+    if kind == "join":
+        return Join(
+            data["algo"],
+            plan_from_dict(data["left"]),
+            plan_from_dict(data["right"]),
+            tuple(data["join_pids"]),
+        )
+    if kind == "aggregate":
+        return Aggregate(
+            plan_from_dict(data["child"]),
+            tuple(tuple(gc) for gc in data.get("group_columns", ())),
+        )
+    raise OptimizerError(f"unknown serialized node kind {kind!r}")

@@ -1,0 +1,8 @@
+"""Query representation: predicates, SPJ queries, join graphs, SQL."""
+
+from .joingraph import JoinGraph
+from .predicates import JoinPredicate, SelectionPredicate
+from .query import Query
+from .sql import parse_query
+
+__all__ = ["JoinGraph", "JoinPredicate", "SelectionPredicate", "Query", "parse_query"]

@@ -1,0 +1,125 @@
+"""Predicate objects for SPJ queries.
+
+Every predicate carries a stable identifier (``pid``) that is the anchor
+for selectivity handling throughout the system: the estimator reports a
+selectivity per pid, injection overrides are keyed by pid, and ESS
+dimensions name the pid whose selectivity is error-prone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..exceptions import QueryError
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+_ALL_OPS = _RANGE_OPS + ("=", "in")
+
+
+@dataclass(frozen=True)
+class SelectionPredicate:
+    """A base-relation filter ``table.column <op> value``.
+
+    ``op`` is one of ``= < <= > >= in``; for ``in`` the value is a tuple
+    of constants (normalized to a sorted tuple so the pid is stable).
+    """
+
+    table: str
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in _ALL_OPS:
+            raise QueryError(f"unsupported selection operator {self.op!r}")
+        if self.op == "in":
+            values = tuple(sorted(float(v) for v in self.value))
+            if not values:
+                raise QueryError("IN-list predicate needs at least one value")
+            object.__setattr__(self, "value", values)
+        else:
+            object.__setattr__(self, "value", float(self.value))
+
+    @property
+    def pid(self) -> str:
+        if self.op == "in":
+            inner = ",".join(f"{v:g}" for v in self.value)
+            return f"sel:{self.table}.{self.column}in({inner})"
+        return f"sel:{self.table}.{self.column}{self.op}{self.value:g}"
+
+    @property
+    def is_range(self) -> bool:
+        return self.op in _RANGE_OPS
+
+    @property
+    def indexable(self) -> bool:
+        """True when a B-tree index scan can serve this predicate."""
+        return self.op != "in"
+
+    def __str__(self):
+        if self.op == "in":
+            inner = ", ".join(f"{v:g}" for v in self.value)
+            return f"{self.table}.{self.column} in ({inner})"
+        return f"{self.table}.{self.column} {self.op} {self.value:g}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join ``left_table.left_column = right_table.right_column``.
+
+    The two sides are stored in a canonical (sorted) order so the same
+    logical join always produces the same ``pid`` regardless of how the
+    query author wrote it.
+    """
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def __post_init__(self):
+        if self.left_table == self.right_table:
+            raise QueryError("self-joins are not supported")
+        if (self.right_table, self.right_column) < (self.left_table, self.left_column):
+            # Swap the two sides into canonical order.  The dataclass is
+            # frozen, so normalization goes through object.__setattr__.
+            lt, lc = self.left_table, self.left_column
+            rt, rc = self.right_table, self.right_column
+            object.__setattr__(self, "left_table", rt)
+            object.__setattr__(self, "left_column", rc)
+            object.__setattr__(self, "right_table", lt)
+            object.__setattr__(self, "right_column", lc)
+
+    @property
+    def pid(self) -> str:
+        return (
+            f"join:{self.left_table}.{self.left_column}"
+            f"={self.right_table}.{self.right_column}"
+        )
+
+    @property
+    def tables(self) -> Tuple[str, str]:
+        return (self.left_table, self.right_table)
+
+    def column_for(self, table: str) -> str:
+        """The join column on ``table``'s side."""
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise QueryError(f"join {self.pid} does not involve table {table!r}")
+
+    def other(self, table: str) -> str:
+        """The table on the opposite side of ``table``."""
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise QueryError(f"join {self.pid} does not involve table {table!r}")
+
+    def __str__(self):
+        return (
+            f"{self.left_table}.{self.left_column} = "
+            f"{self.right_table}.{self.right_column}"
+        )

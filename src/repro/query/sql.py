@@ -1,0 +1,161 @@
+"""A tiny SQL front-end for the SPJ fragment the system supports.
+
+Grammar (case-insensitive keywords)::
+
+    SELECT * | SELECT COUNT(*)
+    FROM table [, table ...]
+    [WHERE conjunct [AND conjunct ...]]
+
+where each conjunct is an equi-join ``t1.c1 = t2.c2``, a selection
+``t.c <op> literal`` with ``<op>`` in ``= < <= > >=``, or an IN-list
+``t.c IN (v1, v2, ...)``.
+Unqualified column names are resolved against the FROM tables when
+unambiguous.  This is exactly the fragment of the paper's workload
+(Figure 1's EQ query parses verbatim).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..catalog.schema import Schema
+from ..exceptions import QueryError
+from .predicates import JoinPredicate, SelectionPredicate
+from .query import Query
+
+_SQL_RE = re.compile(
+    r"^\s*select\s+(?P<select>\*|count\(\s*\*\s*\))\s+"
+    r"from\s+(?P<tables>[^;]+?)"
+    r"(?:\s+where\s+(?P<where>.+?))?"
+    r"(?:\s+group\s+by\s+(?P<group>[^;]+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_COLUMN_REF = re.compile(r"^(?:(?P<table>\w+)\.)?(?P<column>\w+)$")
+
+_OPERATORS = ("<=", ">=", "=", "<", ">")
+
+
+def parse_query(sql: str, schema: Schema, name: str = "sql_query") -> Query:
+    """Parse an SPJ SQL string into a :class:`~repro.query.query.Query`.
+
+    Raises :class:`~repro.exceptions.QueryError` with a precise message on
+    anything outside the supported fragment.
+    """
+    match = _SQL_RE.match(sql)
+    if match is None:
+        raise QueryError(
+            "unsupported SQL; expected SELECT */COUNT(*) FROM ... [WHERE ...]"
+        )
+    tables = [t.strip() for t in match.group("tables").split(",")]
+    if any(not re.fullmatch(r"\w+", t) for t in tables):
+        raise QueryError(f"malformed FROM list: {match.group('tables')!r}")
+    for table in tables:
+        schema.table(table)  # validates existence
+
+    selections: List[SelectionPredicate] = []
+    joins: List[JoinPredicate] = []
+    where = match.group("where")
+    if where:
+        for conjunct in re.split(r"\s+and\s+", where.strip(), flags=re.IGNORECASE):
+            _parse_conjunct(conjunct.strip(), schema, tables, selections, joins)
+    group_by = []
+    group_clause = match.group("group")
+    if group_clause:
+        for token in group_clause.split(","):
+            ref = _COLUMN_REF.match(token.strip())
+            if ref is None:
+                raise QueryError(f"malformed GROUP BY column {token.strip()!r}")
+            group_by.append(_resolve(ref, schema, tables, group_clause))
+    is_count = match.group("select").lower().startswith("count")
+    return Query(
+        name,
+        schema,
+        tables,
+        selections=selections,
+        joins=joins,
+        group_by=group_by,
+        aggregate=is_count or bool(group_by),
+    )
+
+
+_IN_RE = re.compile(
+    r"^(?P<col>(?:\w+\.)?\w+)\s+in\s*\((?P<values>[^)]*)\)$", re.IGNORECASE
+)
+
+
+def _parse_conjunct(
+    text: str,
+    schema: Schema,
+    tables: List[str],
+    selections: List[SelectionPredicate],
+    joins: List[JoinPredicate],
+):
+    in_match = _IN_RE.match(text)
+    if in_match is not None:
+        ref = _COLUMN_REF.match(in_match.group("col"))
+        if ref is None:
+            raise QueryError(f"malformed IN predicate {text!r}")
+        values = []
+        for token in in_match.group("values").split(","):
+            literal = _try_literal(token.strip())
+            if literal is None:
+                raise QueryError(f"non-numeric IN-list value in {text!r}")
+            values.append(literal)
+        table, column = _resolve(ref, schema, tables, text)
+        selections.append(SelectionPredicate(table, column, "in", tuple(values)))
+        return
+    op, left, right = _split_comparison(text)
+    left_ref = _COLUMN_REF.match(left)
+    if left_ref is None:
+        raise QueryError(f"left side of {text!r} is not a column reference")
+    literal = _try_literal(right)
+    if literal is not None:
+        table, column = _resolve(left_ref, schema, tables, text)
+        selections.append(SelectionPredicate(table, column, op, literal))
+        return
+    right_ref = _COLUMN_REF.match(right)
+    if right_ref is None:
+        raise QueryError(f"right side of {text!r} is neither literal nor column")
+    if op != "=":
+        raise QueryError(f"non-equi join {text!r} is not supported")
+    lt, lc = _resolve(left_ref, schema, tables, text)
+    rt, rc = _resolve(right_ref, schema, tables, text)
+    joins.append(JoinPredicate(lt, lc, rt, rc))
+
+
+def _split_comparison(text: str) -> Tuple[str, str, str]:
+    for op in _OPERATORS:
+        if op in text:
+            left, _, right = text.partition(op)
+            return op, left.strip(), right.strip()
+    raise QueryError(f"no comparison operator in conjunct {text!r}")
+
+
+def _try_literal(token: str) -> Optional[float]:
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def _resolve(
+    ref: "re.Match", schema: Schema, tables: List[str], context: str
+) -> Tuple[str, str]:
+    """Resolve a (possibly unqualified) column reference to (table, column)."""
+    table = ref.group("table")
+    column = ref.group("column")
+    if table is not None:
+        if table not in tables:
+            raise QueryError(f"table {table!r} in {context!r} not in FROM list")
+        schema.table(table).column(column)
+        return table, column
+    owners = [t for t in tables if schema.table(t).has_column(column)]
+    if not owners:
+        raise QueryError(f"column {column!r} in {context!r} not found in FROM tables")
+    if len(owners) > 1:
+        raise QueryError(
+            f"column {column!r} in {context!r} is ambiguous across {owners}"
+        )
+    return owners[0], column

@@ -1,0 +1,36 @@
+"""Robustness metrics and baseline strategies (NAT, SEER)."""
+
+from .metrics import (
+    StrategyProfile,
+    aso,
+    bouquet_aso,
+    bouquet_mso,
+    enhancement_histogram,
+    harm_fraction,
+    max_harm,
+    mso,
+    robustness_enhancement,
+    subopt_worst_field,
+)
+from .nat import NativeOptimizerStrategy, native_profile
+from .reopt import ReoptRunResult, ReoptStep, ReoptStrategy
+from .seer import SeerStrategy
+
+__all__ = [
+    "StrategyProfile",
+    "aso",
+    "bouquet_aso",
+    "bouquet_mso",
+    "enhancement_histogram",
+    "harm_fraction",
+    "max_harm",
+    "mso",
+    "robustness_enhancement",
+    "subopt_worst_field",
+    "NativeOptimizerStrategy",
+    "native_profile",
+    "ReoptRunResult",
+    "ReoptStep",
+    "ReoptStrategy",
+    "SeerStrategy",
+]

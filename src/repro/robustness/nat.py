@@ -1,0 +1,67 @@
+"""NAT — the native optimizer baseline.
+
+NAT optimizes once at the estimated location ``qe`` and executes that
+plan at the actual location ``qa``.  Its robustness profile over the ESS
+derives directly from the plan diagram: every POSP plan is the choice at
+some qe, so the worst case at qa maximizes over the POSP cost fields.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..ess.diagram import PlanDiagram
+from ..ess.space import Location
+from ..exceptions import EssError
+from .metrics import StrategyProfile, aso, mso, subopt_worst_field
+
+
+def native_profile(diagram: PlanDiagram) -> StrategyProfile:
+    """Build NAT's strategy profile from a plan diagram."""
+    cache = diagram.cache
+    if cache is None:
+        raise EssError("diagram lacks a cost cache")
+    occupancy = diagram.occupancy()
+    cost_fields = {
+        plan_id: cache.cost_array(plan_id) for plan_id in occupancy
+    }
+    return StrategyProfile(
+        cost_fields=cost_fields, occupancy=occupancy, pic=diagram.costs
+    )
+
+
+class NativeOptimizerStrategy:
+    """Per-instance NAT behaviour: plan choice at qe, cost paid at qa."""
+
+    def __init__(self, diagram: PlanDiagram):
+        self.diagram = diagram
+        if diagram.cache is None:
+            raise EssError("diagram lacks a cost cache")
+        self._profile = native_profile(diagram)
+
+    def plan_for_estimate(self, qe: Location) -> int:
+        return self.diagram.plan_at(qe)
+
+    def cost(self, qe: Location, qa: Location) -> float:
+        """Cost NAT pays when it estimates qe but the truth is qa."""
+        plan_id = self.plan_for_estimate(qe)
+        return self.diagram.cache.cost(plan_id, qa)
+
+    def suboptimality(self, qe: Location, qa: Location) -> float:
+        """SubOpt(qe, qa) (Equation 1)."""
+        return self.cost(qe, qa) / self.diagram.cost_at(qa)
+
+    def subopt_worst(self) -> np.ndarray:
+        return subopt_worst_field(self._profile)
+
+    def mso(self) -> float:
+        return mso(self._profile)
+
+    def aso(self) -> float:
+        return aso(self._profile)
+
+    @property
+    def plan_cardinality(self) -> int:
+        """Number of distinct plans NAT may execute (POSP cardinality)."""
+        return len(self.diagram.posp_plan_ids)

@@ -1,0 +1,68 @@
+"""Tests for the TPC-H / TPC-DS schema definitions."""
+
+import pytest
+
+from repro.catalog import (
+    tpcds_generator_spec,
+    tpcds_row_counts,
+    tpcds_schema,
+    tpch_generator_spec,
+    tpch_row_counts,
+    tpch_schema,
+)
+
+
+class TestTpchSchema:
+    def test_cardinality_ratios(self):
+        rows = tpch_row_counts(0.1)
+        assert rows["lineitem"] == 4 * rows["orders"]
+        assert rows["region"] == 5 and rows["nation"] == 25  # fixed tables
+
+    def test_scaling(self):
+        small, large = tpch_row_counts(0.01), tpch_row_counts(0.1)
+        assert large["lineitem"] == 10 * small["lineitem"]
+
+    def test_schema_fks_valid(self):
+        schema = tpch_schema(0.01)
+        assert len(schema.foreign_keys) == 8
+        for fk in schema.foreign_keys:
+            parent = schema.table(fk.parent_table)
+            assert parent.primary_key == fk.parent_column
+
+    def test_generator_spec_covers_all_columns(self):
+        schema = tpch_schema(0.01)
+        spec = tpch_generator_spec(0.01)
+        for name, table in schema.tables.items():
+            assert name in spec
+            for column in table.column_names:
+                assert column in spec[name], f"{name}.{column} missing generator"
+
+
+class TestTpcdsSchema:
+    def test_fact_tables_scale(self):
+        small, large = tpcds_row_counts(0.01), tpcds_row_counts(0.1)
+        assert large["store_sales"] == 10 * small["store_sales"]
+
+    def test_schema_fks_valid(self):
+        schema = tpcds_schema(0.01)
+        for fk in schema.foreign_keys:
+            parent = schema.table(fk.parent_table)
+            assert parent.primary_key == fk.parent_column
+
+    def test_generator_spec_covers_all_columns(self):
+        schema = tpcds_schema(0.01)
+        spec = tpcds_generator_spec(0.01)
+        for name, table in schema.tables.items():
+            for column in table.column_names:
+                assert column in spec[name], f"{name}.{column} missing generator"
+
+    def test_qualified_column_names_globally_unique(self):
+        """The executor relies on column names being unique across tables."""
+        for schema in (tpch_schema(0.01), tpcds_schema(0.01)):
+            seen = {}
+            for name, table in schema.tables.items():
+                for column in table.column_names:
+                    assert column not in seen, (
+                        f"column {column} in both {seen.get(column)} and {name}"
+                    )
+                    seen[column] = name

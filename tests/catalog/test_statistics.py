@@ -1,0 +1,107 @@
+"""Unit + property tests for column statistics and selectivity estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import (
+    MAGIC_EQUALITY_SELECTIVITY,
+    ColumnStatistics,
+    DatabaseStatistics,
+    TableStatistics,
+)
+from repro.exceptions import CatalogError
+
+
+def uniform_stats(n=10_000, lo=0.0, hi=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return ColumnStatistics.from_array(rng.uniform(lo, hi, size=n))
+
+
+class TestFromArray:
+    def test_min_max_distinct(self):
+        stats = ColumnStatistics.from_array(np.array([3.0, 1.0, 2.0, 2.0]))
+        assert stats.min_value == 1.0
+        assert stats.max_value == 3.0
+        assert stats.n_distinct == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            ColumnStatistics.from_array(np.array([]))
+
+    def test_sampling_reduces_fidelity_deterministically(self):
+        data = np.random.default_rng(1).zipf(1.5, size=50_000).astype(float)
+        data = data[data < 1000]
+        a = ColumnStatistics.from_array(data, sample_size=500, seed=9)
+        b = ColumnStatistics.from_array(data, sample_size=500, seed=9)
+        assert a.n_distinct == b.n_distinct  # deterministic
+        full = ColumnStatistics.from_array(data)
+        assert a.n_distinct <= full.n_distinct
+
+    def test_mcv_detects_heavy_hitters(self):
+        data = np.concatenate([np.full(900, 7.0), np.arange(100, dtype=float)])
+        stats = ColumnStatistics.from_array(data)
+        assert 7.0 in stats.mcv_values
+        idx = stats.mcv_values.index(7.0)
+        # 900 injected + 1 from the arange = 901 of 1000 rows.
+        assert stats.mcv_fractions[idx] == pytest.approx(0.901)
+
+
+class TestRangeSelectivity:
+    def test_uniform_midpoint(self):
+        stats = uniform_stats()
+        assert stats.range_selectivity("<", 50.0) == pytest.approx(0.5, abs=0.05)
+
+    def test_bounds(self):
+        stats = uniform_stats()
+        assert stats.range_selectivity("<", -10.0) <= 1e-6
+        assert stats.range_selectivity("<", 1000.0) == pytest.approx(1.0)
+        assert stats.range_selectivity(">", 1000.0) <= 1e-6
+
+    def test_complementarity(self):
+        stats = uniform_stats()
+        below = stats.range_selectivity("<", 30.0)
+        above = stats.range_selectivity(">=", 30.0)
+        assert below + above == pytest.approx(1.0, abs=0.02)
+
+    def test_unknown_operator(self):
+        with pytest.raises(CatalogError):
+            uniform_stats().range_selectivity("!=", 1.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_value(self, value):
+        stats = uniform_stats()
+        smaller = stats.range_selectivity("<", value)
+        larger = stats.range_selectivity("<", min(100.0, value + 5.0))
+        assert larger >= smaller - 1e-9
+
+
+class TestEqualitySelectivity:
+    def test_mcv_exact(self):
+        data = np.concatenate([np.full(500, 1.0), np.arange(2, 502, dtype=float)])
+        stats = ColumnStatistics.from_array(data)
+        assert stats.equality_selectivity(1.0) == pytest.approx(0.5)
+
+    def test_non_mcv_uses_distinct(self):
+        data = np.arange(1000, dtype=float)
+        stats = ColumnStatistics.from_array(data)
+        assert stats.equality_selectivity(123.0) == pytest.approx(1 / 1000, rel=0.2)
+
+
+class TestDatabaseStatistics:
+    def test_missing_lookups_return_none(self):
+        stats = DatabaseStatistics()
+        assert stats.table("nope") is None
+        assert stats.column("nope", "x") is None
+        assert stats.row_count("nope") is None
+
+    def test_roundtrip(self):
+        tstats = TableStatistics("t", 42)
+        tstats.set_column("a", uniform_stats(100))
+        db_stats = DatabaseStatistics()
+        db_stats.set_table(tstats)
+        assert db_stats.row_count("t") == 42
+        assert db_stats.column("t", "a") is not None
+        assert db_stats.table_names == ["t"]

@@ -1,0 +1,82 @@
+"""Shared fixtures: a small deterministic TPC-H world and a tiny Lab.
+
+Everything is session-scoped — construction is deterministic, so sharing
+artifacts across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Lab
+from repro.catalog import tpch_generator_spec, tpch_schema
+from repro.datagen import Database
+from repro.ess import ErrorDimension, PlanDiagram, SelectivitySpace
+from repro.optimizer import Optimizer, actual_selectivities
+from repro.query import JoinPredicate, Query, SelectionPredicate
+
+SCALE = 0.003
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return tpch_schema(SCALE)
+
+
+@pytest.fixture(scope="session")
+def database(schema):
+    return Database.generate(schema, tpch_generator_spec(SCALE), seed=7)
+
+
+@pytest.fixture(scope="session")
+def statistics(database):
+    return database.build_statistics(sample_size=1500, seed=3)
+
+
+@pytest.fixture(scope="session")
+def optimizer(schema, statistics):
+    return Optimizer(schema, statistics)
+
+
+@pytest.fixture(scope="session")
+def eq_query(schema):
+    return Query(
+        "EQ",
+        schema,
+        ["lineitem", "orders", "part"],
+        selections=[SelectionPredicate("part", "p_retailprice", "<", 1000.0)],
+        joins=[
+            JoinPredicate("part", "p_partkey", "lineitem", "l_partkey"),
+            JoinPredicate("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def eq_space(eq_query, database):
+    base = actual_selectivities(eq_query, database)
+    dim = ErrorDimension(eq_query.selections[0].pid, 1e-4, 1.0, "p_retailprice")
+    return SelectivitySpace(eq_query, [dim], 64, base)
+
+
+@pytest.fixture(scope="session")
+def eq_diagram(optimizer, eq_space):
+    return PlanDiagram.exhaustive(optimizer, eq_space)
+
+
+@pytest.fixture(scope="session")
+def eq_bouquet(eq_diagram):
+    from repro.core import identify_bouquet
+
+    return identify_bouquet(eq_diagram)
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """A miniature Lab: tiny scale and coarse grids for fast multi-D tests."""
+    return Lab(
+        tpch_scale=0.002,
+        tpcds_scale=0.002,
+        stats_sample=1000,
+        resolutions={1: 40, 2: 12, 3: 7, 4: 5, 5: 4},
+    )

@@ -1,0 +1,105 @@
+"""Tests for §5.2's selectivity-monitoring discipline.
+
+Two properties from the paper:
+
+* learning happens only at nodes whose inputs are completely known — the
+  first error node in execution order has an error-free subtree, so its
+  tuple count divided by its (exactly knowable) input cardinalities is a
+  safe lower bound;
+* a selectivity evaluated only *above* other error-prone nodes is learnt
+  **deferred**: not until the upstream error selectivities have been
+  learnt exactly does its node become the "first unlearned error node".
+"""
+
+import pytest
+
+from repro.core import BouquetRunner, identify_bouquet
+from repro.core.runtime import AbstractExecutionService
+from repro.ess import ErrorDimension, PlanDiagram, SelectivitySpace
+from repro.optimizer import actual_selectivities, first_error_node
+from repro.query import parse_query
+
+
+@pytest.fixture(scope="module")
+def stacked_bouquet(schema, database, optimizer):
+    """A 2D space whose dims sit at different depths of every plan:
+    the part filter is evaluated at a leaf, the lineitem-orders join
+    above the lineitem-part join in most plans."""
+    query = parse_query(
+        "select * from lineitem, orders, part "
+        "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+        "and p_retailprice < 1500",
+        schema,
+        name="stacked",
+    )
+    truth = actual_selectivities(query, database)
+    sel_pid = query.selections[0].pid
+    join_pid = next(j for j in query.joins if "orders" in j.tables).pid
+    dims = [
+        ErrorDimension(sel_pid, 1e-4, 1.0, "retailprice"),
+        ErrorDimension(join_pid, truth[join_pid] / 100.0, truth[join_pid] * 2, "lxo"),
+    ]
+    space = SelectivitySpace(query, dims, 16, truth)
+    diagram = PlanDiagram.exhaustive(optimizer, space)
+    return identify_bouquet(diagram)
+
+
+class TestDeferredLearning:
+    def test_first_error_node_subtree_error_free(self, stacked_bouquet):
+        """For every bouquet plan, the first unlearned error node's
+        children carry no unlearned error pids — the §5.2 precondition
+        for exact denominator knowledge."""
+        error_pids = frozenset(d.pid for d in stacked_bouquet.space.dimensions)
+        for plan_id in stacked_bouquet.plan_ids:
+            plan = stacked_bouquet.registry.plan(plan_id)
+            node = first_error_node(plan, error_pids)
+            if node is None:
+                continue
+            for child in node.children:
+                assert not (child.all_pids() & error_pids)
+
+    def test_learning_respects_execution_order(self, stacked_bouquet):
+        """In a run where both dims get learnt, a dim evaluated above
+        another error node in the executed plan is never learnt from that
+        plan before the lower one is exact."""
+        space = stacked_bouquet.space
+        qa = space.selectivities_at((12, 12))
+        service = AbstractExecutionService(stacked_bouquet, qa)
+        runner = BouquetRunner(stacked_bouquet, service, mode="optimized")
+        result = runner.run()
+        assert result.completed
+        exact_at = {}
+        for step, record in enumerate(result.executions):
+            for learned in record.learned:
+                if learned.exact and learned.pid not in exact_at:
+                    exact_at[learned.pid] = step
+        # Whenever a plan learns a pid, every error pid BELOW that pid's
+        # node in that plan must already be exact.
+        error_pids = frozenset(d.pid for d in space.dimensions)
+        for step, record in enumerate(result.executions):
+            if not record.learned:
+                continue
+            plan = stacked_bouquet.registry.plan(record.plan_id)
+            unlearned_then = frozenset(
+                pid
+                for pid in error_pids
+                if exact_at.get(pid, len(result.executions)) >= step
+            )
+            node = first_error_node(plan, unlearned_then)
+            if node is None:
+                continue
+            learned_pids = {l.pid for l in record.learned}
+            assert learned_pids <= set(node.local_pids), (
+                "learning jumped past an unlearned upstream error node"
+            )
+
+    def test_both_dims_learnable(self, stacked_bouquet):
+        """Discovery completes even though one dim's node sits above the
+        other's in every plan (the paper's deferred-learning case)."""
+        space = stacked_bouquet.space
+        for location in [(3, 3), (10, 14), (15, 15)]:
+            service = AbstractExecutionService(
+                stacked_bouquet, space.selectivities_at(location)
+            )
+            result = BouquetRunner(stacked_bouquet, service, mode="optimized").run()
+            assert result.completed

@@ -1,0 +1,108 @@
+"""Tests for the high-level BouquetSession API and persistence."""
+
+import os
+
+import pytest
+
+from repro.core.session import BouquetSession, CompiledQuery
+from repro.exceptions import BouquetError, QueryError
+from repro.query import parse_query
+
+EQ_SQL = (
+    "select * from lineitem, orders, part "
+    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+    "and p_retailprice < 1000"
+)
+
+
+@pytest.fixture(scope="module")
+def session(schema, statistics, database):
+    return BouquetSession(schema, statistics=statistics, database=database)
+
+
+@pytest.fixture(scope="module")
+def compiled(session):
+    return session.compile(EQ_SQL, resolution=40)
+
+
+class TestCompile:
+    def test_compiles_from_sql(self, compiled):
+        assert compiled.bouquet.cardinality >= 1
+        assert compiled.space.dimensionality == 1  # only p_retailprice is fallible
+        assert compiled.mso_bound <= 4.8 + 1e-9
+
+    def test_compiles_from_query_object(self, session, eq_query):
+        other = session.compile(eq_query, resolution=20)
+        assert other.bouquet.contours
+
+    def test_explicit_dimensions_respected(self, session, eq_query, eq_space):
+        compiled = session.compile(
+            eq_query, dimensions=list(eq_space.dimensions), resolution=16
+        )
+        assert compiled.space.dimensions == eq_space.dimensions
+
+    def test_fallback_when_all_predicates_certain(self, session, schema):
+        """A pure PK-FK join query cascades to the all-predicates fallback."""
+        query = parse_query(
+            "select * from lineitem, orders where l_orderkey = o_orderkey",
+            schema,
+        )
+        compiled = session.compile(query, resolution=12)
+        assert compiled.space.dimensionality == 1
+
+
+class TestExecutionPaths:
+    def test_real_execution(self, compiled):
+        result = compiled.execute()
+        assert result.completed
+        assert result.result_rows is not None
+
+    def test_simulation(self, compiled):
+        result = compiled.simulate([0.03])
+        assert result.completed
+        assert result.total_cost > 0
+
+    def test_execute_without_database_raises(self, schema, statistics, eq_query):
+        session = BouquetSession(schema, statistics=statistics)  # no database
+        compiled = session.compile(eq_query, resolution=12)
+        with pytest.raises(BouquetError):
+            compiled.execute()
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, compiled, session, schema, tmp_path):
+        path = os.path.join(tmp_path, "bouquet.json")
+        compiled.save(path)
+        query = parse_query(EQ_SQL, schema)
+        loaded = CompiledQuery.load(path, session, query)
+        assert loaded.bouquet.cardinality == compiled.bouquet.cardinality
+        assert [c.cost for c in loaded.bouquet.contours] == pytest.approx(
+            [c.cost for c in compiled.bouquet.contours]
+        )
+
+    def test_loaded_bouquet_executes_identically(
+        self, compiled, session, schema, tmp_path
+    ):
+        path = os.path.join(tmp_path, "bouquet.json")
+        compiled.save(path)
+        loaded = CompiledQuery.load(path, session, parse_query(EQ_SQL, schema))
+        a = compiled.execute(mode="basic")
+        b = loaded.execute(mode="basic")
+        assert a.result_rows == b.result_rows
+        assert b.total_cost == pytest.approx(a.total_cost, rel=1e-6)
+
+    def test_mismatched_query_rejected(self, compiled, session, schema, tmp_path):
+        path = os.path.join(tmp_path, "bouquet.json")
+        compiled.save(path)
+        other = parse_query("select * from part where p_size < 10", schema)
+        with pytest.raises(QueryError):
+            CompiledQuery.load(path, session, other)
+
+    def test_bad_format_rejected(self, session, schema, tmp_path):
+        import json
+
+        path = os.path.join(tmp_path, "bogus.json")
+        with open(path, "w") as handle:
+            json.dump({"format": "not.a.bouquet"}, handle)
+        with pytest.raises(BouquetError):
+            CompiledQuery.load(path, session, parse_query(EQ_SQL, schema))

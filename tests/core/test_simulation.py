@@ -1,0 +1,52 @@
+"""Tests for the ESS-wide simulation fields."""
+
+import numpy as np
+import pytest
+
+from repro.core import basic_cost_field, optimized_cost_field, simulate_at
+from repro.core.simulation import sample_locations, suboptimality_field
+
+
+class TestBasicCostField:
+    def test_matches_per_location_simulation(self, eq_bouquet):
+        field = basic_cost_field(eq_bouquet)
+        for loc in [(0,), (17,), (42,), (63,)]:
+            result = simulate_at(eq_bouquet, loc, mode="basic")
+            assert field[loc] == pytest.approx(result.total_cost)
+
+    def test_everywhere_positive_and_bounded(self, eq_bouquet, eq_diagram):
+        field = basic_cost_field(eq_bouquet)
+        assert (field > 0).all()
+        subopt = suboptimality_field(field, eq_diagram.costs)
+        assert (subopt >= 1.0 - 1e-9).all()
+        assert subopt.max() <= eq_bouquet.mso_bound * (1 + 1e-6)
+
+    def test_3d_field(self, lab):
+        ql = lab.build("3D_DS_Q96")
+        field = basic_cost_field(ql.bouquet)
+        assert field.shape == ql.space.shape
+        subopt = suboptimality_field(field, ql.diagram.costs)
+        assert subopt.max() <= ql.bouquet.mso_bound * (1 + 1e-6)
+
+
+class TestOptimizedCostField:
+    def test_subset_of_locations(self, eq_bouquet):
+        locations = [(0,), (30,), (63,)]
+        field = optimized_cost_field(eq_bouquet, locations)
+        assert set(field) == set(locations)
+        for loc, cost in field.items():
+            assert cost == pytest.approx(
+                simulate_at(eq_bouquet, loc, mode="optimized").total_cost
+            )
+
+
+class TestSampling:
+    def test_sample_deterministic(self, eq_space):
+        a = sample_locations(eq_space, 10, seed=1)
+        b = sample_locations(eq_space, 10, seed=1)
+        assert a == b
+        assert len(set(a)) == 10
+
+    def test_sample_larger_than_grid_returns_all(self, eq_space):
+        sample = sample_locations(eq_space, 10_000)
+        assert len(sample) == eq_space.size

@@ -1,0 +1,131 @@
+"""Tests for plan diagrams, PIC properties, and the cost cache."""
+
+import numpy as np
+import pytest
+
+from repro.ess import PlanDiagram, SelectivitySpace, coarse_subgrid
+from repro.ess.diagram import PlanCostCache
+
+
+class TestExhaustiveDiagram:
+    def test_posp_has_multiple_plans(self, eq_diagram):
+        assert len(eq_diagram.posp_plan_ids) >= 3
+
+    def test_pic_monotone(self, eq_diagram):
+        assert eq_diagram.check_monotone()
+        diffs = np.diff(eq_diagram.costs)
+        assert (diffs >= -1e-9 * eq_diagram.costs[:-1]).all()
+
+    def test_cmin_cmax_at_corners(self, eq_diagram):
+        assert eq_diagram.cmin == eq_diagram.costs.min()
+        assert eq_diagram.cmax == eq_diagram.costs.max()
+        assert eq_diagram.cmax > eq_diagram.cmin
+
+    def test_occupancy_sums_to_grid(self, eq_diagram):
+        assert sum(eq_diagram.occupancy().values()) == eq_diagram.space.size
+
+    def test_plan_optimal_in_own_region(self, eq_diagram):
+        """At each location, the diagram's plan is at least as cheap as
+        every other POSP plan costed there."""
+        cache = eq_diagram.cache
+        posp = eq_diagram.posp_plan_ids
+        arrays = {p: cache.cost_array(p) for p in posp}
+        for loc in list(eq_diagram.space.locations())[::7]:
+            own = eq_diagram.plan_at(loc)
+            best = min(arrays[p][loc] for p in posp)
+            assert arrays[own][loc] == pytest.approx(best, rel=1e-9)
+
+
+class TestCostCache:
+    def test_cost_array_matches_pointwise(self, eq_diagram):
+        cache = eq_diagram.cache
+        plan_id = eq_diagram.posp_plan_ids[0]
+        array = cache.cost_array(plan_id)
+        assert array[(5,)] == cache.cost(plan_id, (5,))
+
+    def test_cost_at_values_interpolates_grid(self, eq_diagram):
+        cache = eq_diagram.cache
+        plan_id = eq_diagram.posp_plan_ids[0]
+        grid = eq_diagram.space.grids[0]
+        at_grid = cache.cost_at_values(plan_id, [float(grid[10])])
+        assert at_grid == pytest.approx(cache.cost(plan_id, (10,)))
+        between = cache.cost_at_values(
+            plan_id, [float(np.sqrt(grid[10] * grid[11]))]
+        )
+        assert cache.cost(plan_id, (10,)) <= between <= cache.cost(plan_id, (11,))
+
+    def test_arrays_are_cached(self, eq_diagram):
+        cache = eq_diagram.cache
+        plan_id = eq_diagram.posp_plan_ids[0]
+        assert cache.cost_array(plan_id) is cache.cost_array(plan_id)
+
+
+class TestCandidateDiagram:
+    def test_approximation_close_to_exhaustive(self, optimizer, eq_space, eq_diagram):
+        approx = PlanDiagram.from_candidates(
+            optimizer, eq_space, coarse_subgrid(eq_space, per_dim=8)
+        )
+        # The approximate PIC can never be below the true PIC (it argmins
+        # over a subset of plans) and should be within the anorexic band.
+        assert (approx.costs >= eq_diagram.costs * (1 - 1e-9)).all()
+        assert (approx.costs <= eq_diagram.costs * 1.3).all()
+
+    def test_exact_at_seed_locations(self, optimizer, eq_space, eq_diagram):
+        seeds = [(0,), (31,), (63,)]
+        approx = PlanDiagram.from_candidates(optimizer, eq_space, seeds)
+        for seed in seeds:
+            assert approx.cost_at(seed) == pytest.approx(eq_diagram.cost_at(seed))
+
+
+class TestCoarseSubgrid:
+    def test_includes_corners(self, eq_space):
+        seeds = coarse_subgrid(eq_space, per_dim=4)
+        assert (0,) in seeds and (63,) in seeds
+        assert len(seeds) == 4
+
+
+class TestParallelPosp:
+    def test_parallel_matches_serial(self, optimizer, eq_space, eq_diagram):
+        """§4.2: POSP generation is embarrassingly parallel — the
+        multi-process diagram is bit-identical in costs and plan choices
+        (overheads dominate at toy scale; correctness is what we test)."""
+        import numpy as np
+
+        from repro.optimizer import Optimizer
+
+        fresh = Optimizer(optimizer.schema, optimizer.statistics)
+        parallel = PlanDiagram.exhaustive(fresh, eq_space, workers=2)
+        assert np.allclose(parallel.costs, eq_diagram.costs)
+        for location in [(0,), (20,), (40,), (63,)]:
+            serial_sig = eq_diagram.registry.plan(
+                eq_diagram.plan_at(location)
+            ).signature()
+            parallel_sig = parallel.registry.plan(
+                parallel.plan_at(location)
+            ).signature()
+            assert serial_sig == parallel_sig
+
+
+class TestVectorizedCosting:
+    def test_cost_array_matches_pointwise_costing(self, eq_diagram, lab):
+        """The single-pass vectorized cost field must equal per-location
+        scalar costing exactly (same formulas, elementwise)."""
+        import numpy as np
+
+        from repro.optimizer.plans import cost_plan
+
+        for diagram in (eq_diagram, lab.build("3D_DS_Q96").diagram):
+            cache = diagram.cache
+            plan_id = diagram.posp_plan_ids[-1]
+            plan = diagram.registry.plan(plan_id)
+            vectorized = cache.cost_array(plan_id)
+            space = diagram.space
+            sample = list(space.locations())[:: max(1, space.size // 50)]
+            for location in sample:
+                scalar = cost_plan(
+                    plan,
+                    cache.optimizer.schema,
+                    cache.optimizer.cost_model,
+                    space.assignment_at(location),
+                ).cost
+                assert vectorized[location] == pytest.approx(scalar, rel=1e-12)

@@ -1,0 +1,55 @@
+"""Tests for contour-focused POSP generation (§4.2)."""
+
+import pytest
+
+from repro.core.contours import contour_costs
+from repro.ess import contour_focused_posp, diagram_from_band
+from repro.exceptions import EssError
+
+
+@pytest.fixture(scope="module")
+def band(optimizer, eq_space, eq_diagram):
+    costs = contour_costs(eq_diagram.cmin, eq_diagram.cmax, 2.0)
+    return contour_focused_posp(optimizer, eq_space, costs)
+
+
+class TestContourFocusedPosp:
+    def test_cheaper_than_exhaustive(self, band, eq_space):
+        assert band.optimizer_calls < eq_space.size
+
+    def test_band_locations_match_exhaustive(self, band, eq_diagram):
+        for location, (plan_id, cost) in band.optimized.items():
+            assert cost == pytest.approx(eq_diagram.cost_at(location))
+
+    def test_band_covers_contour_neighbourhoods(self, band, eq_diagram):
+        """Every contour crossing must be inside the optimized band: for
+        each IC cost there is an optimized location within a small cost
+        factor of it."""
+        costs = contour_costs(eq_diagram.cmin, eq_diagram.cmax, 2.0)
+        optimized_costs = sorted(c for _, c in band.optimized.values())
+        for ic in costs:
+            closest = min(optimized_costs, key=lambda c: abs(c - ic))
+            assert closest <= ic * 2.1 and closest >= ic / 2.1
+
+    def test_posp_subset_of_exhaustive(self, band, eq_diagram):
+        assert set(band.posp_plan_ids) <= set(eq_diagram.posp_plan_ids)
+
+    def test_requires_contours(self, optimizer, eq_space):
+        with pytest.raises(EssError):
+            contour_focused_posp(optimizer, eq_space, [])
+
+
+class TestDiagramFromBand:
+    def test_densified_diagram_close_to_exhaustive(
+        self, optimizer, eq_space, band, eq_diagram
+    ):
+        approx = diagram_from_band(optimizer, eq_space, band)
+        assert (approx.costs >= eq_diagram.costs * (1 - 1e-9)).all()
+        # Within a modest factor of the true PIC everywhere.
+        assert (approx.costs <= eq_diagram.costs * 1.5).all()
+
+    def test_band_locations_authoritative(self, optimizer, eq_space, band, eq_diagram):
+        approx = diagram_from_band(optimizer, eq_space, band)
+        for location, (plan_id, cost) in band.optimized.items():
+            assert approx.plan_at(location) == plan_id
+            assert approx.cost_at(location) == pytest.approx(cost)

@@ -1,0 +1,74 @@
+"""Tests for ASCII plan-diagram rendering."""
+
+import pytest
+
+from repro.core.contours import contour_costs
+from repro.ess.render import render_1d_profile, render_2d_diagram, render_slice
+from repro.exceptions import EssError
+
+
+class TestRender1d:
+    def test_profile_renders_all_plans(self, eq_diagram):
+        text = render_1d_profile(eq_diagram)
+        assert "legend:" in text
+        for plan_id in eq_diagram.posp_plan_ids:
+            assert f"P{plan_id}" in text
+
+    def test_curve_is_monotone_upward(self, eq_diagram):
+        """The rendered PIC curve must descend (in row index) from left to
+        right, since cost grows with selectivity."""
+        text = render_1d_profile(eq_diagram, width=32, height=10)
+        rows = text.splitlines()[:10]
+        first_mark_row = {}
+        for r, line in enumerate(rows):
+            for c, ch in enumerate(line):
+                if ch != " " and c not in first_mark_row:
+                    first_mark_row[c] = r
+        cols = sorted(first_mark_row)
+        marks = [first_mark_row[c] for c in cols]
+        # Row indices decrease (curve climbs) as selectivity grows.
+        assert all(b <= a for a, b in zip(marks, marks[1:]))
+
+    def test_rejects_wrong_dimensionality(self, lab):
+        ql = lab.build("3D_DS_Q96")
+        with pytest.raises(EssError):
+            render_1d_profile(ql.diagram)
+
+
+class TestRender2d:
+    @pytest.fixture(scope="class")
+    def diagram_2d(self, lab):
+        return lab.build("2D_H_Q8a").diagram
+
+    def test_shape_matches_grid(self, diagram_2d):
+        text = render_2d_diagram(diagram_2d)
+        rows, cols = diagram_2d.space.shape
+        grid_lines = text.splitlines()[:rows]
+        assert len(grid_lines) == rows
+        assert all(len(line) == cols for line in grid_lines)
+
+    def test_contour_overlay(self, diagram_2d):
+        ics = contour_costs(diagram_2d.cmin, diagram_2d.cmax, 2.0)
+        text = render_2d_diagram(diagram_2d, contour_costs=ics)
+        assert "*" in text
+        assert "isocost contour frontier" in text
+
+    def test_rejects_oversized(self, diagram_2d):
+        with pytest.raises(EssError):
+            render_2d_diagram(diagram_2d, max_size=4)
+
+
+class TestRenderSlice:
+    def test_3d_slice(self, lab):
+        ql = lab.build("3D_DS_Q96")
+        text = render_slice(ql.diagram, axes=(0, 1), fixed={2: 2})
+        rows = ql.space.shape[0]
+        assert len(text.splitlines()[0]) == ql.space.shape[1]
+        assert "slice: y=dim0" in text
+
+    def test_bad_axes_rejected(self, lab):
+        ql = lab.build("3D_DS_Q96")
+        with pytest.raises(EssError):
+            render_slice(ql.diagram, axes=(1, 1))
+        with pytest.raises(EssError):
+            render_slice(ql.diagram, axes=(0, 7))

@@ -1,0 +1,207 @@
+"""Tests for the execution engine: correctness, costs, budgets, spilling."""
+
+import numpy as np
+import pytest
+
+from repro.executor import CostPerturbation, ExecutionEngine
+from repro.optimizer import (
+    IndexLookup,
+    IndexScan,
+    Join,
+    SeqScan,
+    actual_selectivities,
+    cost_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(database):
+    return ExecutionEngine(database, batch_size=1024)
+
+
+@pytest.fixture(scope="module")
+def eq_truth(eq_query, database):
+    return actual_selectivities(eq_query, database)
+
+
+@pytest.fixture(scope="module")
+def eq_pids(eq_query):
+    sel = eq_query.selections[0].pid
+    j_lp = next(j for j in eq_query.joins if "part" in j.tables).pid
+    j_lo = next(j for j in eq_query.joins if "orders" in j.tables).pid
+    return sel, j_lp, j_lo
+
+
+def brute_force_eq_count(database, threshold=1000.0):
+    """Ground truth for EQ via numpy joins."""
+    part = database.table("part")
+    lineitem = database.table("lineitem")
+    cheap = set(part["p_partkey"][part["p_retailprice"] < threshold].tolist())
+    mask = np.array([v in cheap for v in lineitem["l_partkey"]])
+    # every lineitem's order exists exactly once (FK integrity)
+    return int(mask.sum())
+
+
+class TestCorrectness:
+    def test_eq_row_count_matches_brute_force(
+        self, engine, eq_query, eq_pids, database
+    ):
+        sel, j_lp, j_lo = eq_pids
+        plan = Join(
+            "hash",
+            Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+            SeqScan("part", (sel,)),
+            (j_lp,),
+        )
+        result = engine.execute(eq_query, plan)
+        assert result.completed
+        assert result.rows == brute_force_eq_count(database)
+
+    def test_all_join_algorithms_agree(self, engine, eq_query, eq_pids):
+        sel, j_lp, j_lo = eq_pids
+        counts = set()
+        for algo in ("hash", "merge", "nl"):
+            plan = Join(
+                algo,
+                Join(algo, SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+                SeqScan("part", (sel,)),
+                (j_lp,),
+            )
+            counts.add(engine.execute(eq_query, plan).rows)
+        assert len(counts) == 1
+
+    def test_inl_join_agrees(self, engine, eq_query, eq_pids):
+        sel, j_lp, j_lo = eq_pids
+        hash_plan = Join(
+            "hash",
+            Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+            SeqScan("part", (sel,)),
+            (j_lp,),
+        )
+        inl_plan = Join(
+            "inl",
+            Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+            IndexLookup("part", "p_partkey", (sel,)),
+            (j_lp,),
+        )
+        assert (
+            engine.execute(eq_query, inl_plan).rows
+            == engine.execute(eq_query, hash_plan).rows
+        )
+
+    def test_index_scan_agrees_with_seq_scan(self, engine, eq_query, eq_pids):
+        sel, j_lp, j_lo = eq_pids
+        seq = SeqScan("part", (sel,))
+        idx = IndexScan("part", sel)
+        assert (
+            engine.execute(eq_query, seq).rows == engine.execute(eq_query, idx).rows
+        )
+
+    def test_collect_returns_columns(self, engine, eq_query, eq_pids):
+        sel, *_ = eq_pids
+        result = engine.execute(eq_query, SeqScan("part", (sel,)), collect=True)
+        assert result.result is not None
+        assert "part.p_retailprice" in result.result
+        assert (result.result["part.p_retailprice"] < 1000.0).all()
+
+
+class TestCostAgreement:
+    def test_engine_cost_tracks_optimizer_cost(
+        self, engine, optimizer, eq_query, eq_truth, eq_pids
+    ):
+        """The run-time account must agree with the compile-time cost
+        model at the true selectivities (the property that makes contour
+        budgets meaningful)."""
+        sel, j_lp, j_lo = eq_pids
+        plans = [
+            Join(
+                "hash",
+                Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+                SeqScan("part", (sel,)),
+                (j_lp,),
+            ),
+            Join(
+                "merge",
+                Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+                IndexScan("part", sel),
+                (j_lp,),
+            ),
+        ]
+        for plan in plans:
+            expected = cost_plan(
+                plan, optimizer.schema, engine.cost_model, eq_truth
+            ).cost
+            got = engine.execute(eq_query, plan).spent
+            assert got == pytest.approx(expected, rel=0.15), plan.signature()
+
+
+class TestBudgets:
+    def test_budget_abort_spends_exactly_budget(self, engine, eq_query, eq_pids):
+        sel, j_lp, j_lo = eq_pids
+        plan = Join(
+            "hash",
+            Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+            SeqScan("part", (sel,)),
+            (j_lp,),
+        )
+        full = engine.execute(eq_query, plan)
+        budget = full.spent / 3
+        partial = engine.execute(eq_query, plan, budget=budget)
+        assert not partial.completed
+        assert partial.spent == pytest.approx(budget)
+        assert partial.rows < full.rows
+
+    def test_generous_budget_completes(self, engine, eq_query, eq_pids):
+        sel, *_ = eq_pids
+        plan = SeqScan("part", (sel,))
+        full = engine.execute(eq_query, plan)
+        again = engine.execute(eq_query, plan, budget=full.spent * 1.01)
+        assert again.completed and again.rows == full.rows
+
+
+class TestSpilledExecution:
+    def test_spill_stops_at_error_node(self, engine, eq_query, eq_pids):
+        sel, j_lp, j_lo = eq_pids
+        plan = Join(
+            "hash",
+            Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+            SeqScan("part", (sel,)),
+            (j_lp,),
+        )
+        result, node = engine.execute_spilled(eq_query, plan, {sel})
+        assert node is not None and sel in node.local_pids
+        assert result.completed
+        # Spilled run costs less than the full plan.
+        full = engine.execute(eq_query, plan)
+        assert result.spent < full.spent
+
+    def test_spill_without_error_node_runs_full(self, engine, eq_query, eq_pids):
+        sel, *_ = eq_pids
+        plan = SeqScan("part", (sel,))
+        result, node = engine.execute_spilled(eq_query, plan, {"ghost"})
+        assert node is None
+        assert result.completed
+
+
+class TestCostPerturbation:
+    def test_factor_within_delta_band(self):
+        pert = CostPerturbation(delta=0.4, seed=1)
+        node = SeqScan("part")
+        factor = pert.factor(node)
+        assert 1 / 1.4 <= factor <= 1.4
+        assert factor == pert.factor(SeqScan("part"))  # deterministic
+
+    def test_zero_delta_identity(self):
+        assert CostPerturbation(0.0).factor(SeqScan("part")) == 1.0
+
+    def test_perturbed_engine_costs_within_band(
+        self, database, eq_query, eq_pids, engine
+    ):
+        sel, *_ = eq_pids
+        plan = SeqScan("part", (sel,))
+        clean = engine.execute(eq_query, plan).spent
+        noisy_engine = ExecutionEngine(
+            database, perturbation=CostPerturbation(delta=0.4, seed=5)
+        )
+        noisy = noisy_engine.execute(eq_query, plan).spent
+        assert clean / 1.4 <= noisy <= clean * 1.4

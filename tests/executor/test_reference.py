@@ -1,0 +1,51 @@
+"""Tests for the independent reference evaluator."""
+
+import pytest
+
+from repro.executor import ExecutionEngine
+from repro.executor.reference import (
+    reference_group_counts,
+    reference_row_count,
+)
+from repro.optimizer import Optimizer, actual_selectivities
+from repro.query import parse_query
+
+
+class TestReferenceEvaluator:
+    def test_single_table_filter(self, database, schema):
+        query = parse_query("select * from part where p_size < 10", schema)
+        import numpy as np
+
+        expected = int((database.column("part", "p_size") < 10).sum())
+        assert reference_row_count(database, query) == expected
+
+    def test_agrees_with_engine_on_eq(self, database, schema, eq_query):
+        optimizer = Optimizer(schema)
+        truth = actual_selectivities(eq_query, database)
+        plan = optimizer.optimize(eq_query, assignment=truth).plan
+        engine_rows = ExecutionEngine(database).execute(eq_query, plan).rows
+        assert reference_row_count(database, eq_query) == engine_rows
+
+    def test_group_counts_agree_with_engine(self, database, schema):
+        sql = (
+            "select count(*) from lineitem, part "
+            "where p_partkey = l_partkey and p_retailprice < 1200 "
+            "group by p_brand"
+        )
+        query = parse_query(sql, schema)
+        optimizer = Optimizer(schema)
+        truth = actual_selectivities(query, database)
+        plan = optimizer.optimize(query, assignment=truth).plan
+        result = ExecutionEngine(database).execute(query, plan, collect=True)
+        engine_counts = dict(
+            zip(
+                ((b,) for b in result.result["part.p_brand"].tolist()),
+                result.result["count"].tolist(),
+            )
+        )
+        assert reference_group_counts(database, query) == engine_counts
+
+    def test_global_count(self, database, schema):
+        query = parse_query("select count(*) from orders", schema)
+        counts = reference_group_counts(database, query)
+        assert counts == {(): schema.table("orders").row_count}

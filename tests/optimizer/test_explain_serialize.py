@@ -1,0 +1,91 @@
+"""Tests for plan explain rendering and (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.exceptions import OptimizerError
+from repro.optimizer import (
+    IndexLookup,
+    IndexScan,
+    Join,
+    SeqScan,
+    cost_plan,
+    explain,
+    plan_from_dict,
+    plan_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_plan(eq_query):
+    sel = eq_query.selections[0].pid
+    j_lp = next(j for j in eq_query.joins if "part" in j.tables).pid
+    j_lo = next(j for j in eq_query.joins if "orders" in j.tables).pid
+    return Join(
+        "inl",
+        Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+        IndexLookup("part", "p_partkey", (sel,)),
+        (j_lp,),
+    )
+
+
+class TestExplain:
+    def test_renders_every_node(self, sample_plan, optimizer, eq_query):
+        text = explain(
+            sample_plan,
+            optimizer.schema,
+            optimizer.cost_model,
+            optimizer.estimated_assignment(eq_query),
+        )
+        assert "Index Nested Loop" in text
+        assert "Hash Join" in text
+        assert "Seq Scan on lineitem" in text
+        assert "Index Lookup on part.p_partkey" in text
+        assert "rows=" in text and "cost=" in text
+
+    def test_costs_match_cost_plan(self, sample_plan, optimizer, eq_query):
+        a = optimizer.estimated_assignment(eq_query)
+        text = explain(sample_plan, optimizer.schema, optimizer.cost_model, a)
+        top_cost = cost_plan(sample_plan, optimizer.schema, optimizer.cost_model, a).cost
+        first_line = text.splitlines()[0]
+        assert f"cost={top_cost:.1f}" in first_line
+
+    def test_optimizer_plan_explains(self, optimizer, eq_query):
+        result = optimizer.optimize(eq_query)
+        text = explain(
+            result.plan,
+            optimizer.schema,
+            optimizer.cost_model,
+            optimizer.estimated_assignment(eq_query),
+        )
+        assert len(text.splitlines()) >= 3
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_signature(self, sample_plan):
+        data = plan_to_dict(sample_plan)
+        rebuilt = plan_from_dict(data)
+        assert rebuilt.signature() == sample_plan.signature()
+
+    def test_roundtrip_through_json(self, sample_plan):
+        data = json.loads(json.dumps(plan_to_dict(sample_plan)))
+        assert plan_from_dict(data).signature() == sample_plan.signature()
+
+    def test_roundtrip_preserves_costs(self, sample_plan, optimizer, eq_query):
+        a = optimizer.estimated_assignment(eq_query)
+        original = cost_plan(sample_plan, optimizer.schema, optimizer.cost_model, a)
+        rebuilt = plan_from_dict(plan_to_dict(sample_plan))
+        again = cost_plan(rebuilt, optimizer.schema, optimizer.cost_model, a)
+        assert again.cost == pytest.approx(original.cost)
+        assert again.rows == pytest.approx(original.rows)
+
+    def test_every_posp_plan_roundtrips(self, eq_diagram):
+        for plan_id in eq_diagram.posp_plan_ids:
+            plan = eq_diagram.registry.plan(plan_id)
+            rebuilt = plan_from_dict(plan_to_dict(plan))
+            assert rebuilt.signature() == plan.signature()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(OptimizerError):
+            plan_from_dict({"node": "quantum_scan"})

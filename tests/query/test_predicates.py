@@ -1,0 +1,51 @@
+"""Unit tests for predicates."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import JoinPredicate, SelectionPredicate
+
+
+class TestSelectionPredicate:
+    def test_pid_is_stable_and_descriptive(self):
+        pred = SelectionPredicate("part", "p_size", "<", 10.0)
+        assert pred.pid == "sel:part.p_size<10"
+        assert pred.is_range
+
+    def test_equality_not_range(self):
+        assert not SelectionPredicate("t", "c", "=", 1.0).is_range
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(QueryError):
+            SelectionPredicate("t", "c", "~", 1.0)
+
+    def test_str(self):
+        assert str(SelectionPredicate("t", "c", ">=", 2.0)) == "t.c >= 2"
+
+
+class TestJoinPredicate:
+    def test_canonical_order(self):
+        a = JoinPredicate("part", "p_partkey", "lineitem", "l_partkey")
+        b = JoinPredicate("lineitem", "l_partkey", "part", "p_partkey")
+        assert a == b
+        assert a.pid == b.pid
+        assert a.left_table == "lineitem"  # sorted order
+
+    def test_hashable_and_deduplicable(self):
+        a = JoinPredicate("a", "x", "b", "y")
+        b = JoinPredicate("b", "y", "a", "x")
+        assert len({a, b}) == 1
+
+    def test_column_for_and_other(self):
+        join = JoinPredicate("part", "p_partkey", "lineitem", "l_partkey")
+        assert join.column_for("part") == "p_partkey"
+        assert join.column_for("lineitem") == "l_partkey"
+        assert join.other("part") == "lineitem"
+        with pytest.raises(QueryError):
+            join.column_for("orders")
+        with pytest.raises(QueryError):
+            join.other("orders")
+
+    def test_rejects_self_join(self):
+        with pytest.raises(QueryError):
+            JoinPredicate("t", "a", "t", "b")

@@ -1,0 +1,94 @@
+"""Tests for the SQL front-end."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.sql import parse_query
+
+
+class TestParsing:
+    def test_eq_query_parses_verbatim(self, schema):
+        """The paper's Figure 1 query parses as written."""
+        sql = (
+            "select * from lineitem, orders, part "
+            "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+            "and p_retailprice < 1000"
+        )
+        query = parse_query(sql, schema)
+        assert set(query.tables) == {"lineitem", "orders", "part"}
+        assert len(query.joins) == 2
+        assert len(query.selections) == 1
+        assert query.selections[0].op == "<"
+        assert query.selections[0].value == 1000.0
+        assert query.join_graph.describe() == "chain(3)"
+
+    def test_count_star_and_semicolon(self, schema):
+        query = parse_query("SELECT COUNT(*) FROM part;", schema)
+        assert query.tables == ("part",)
+
+    def test_case_insensitive_keywords(self, schema):
+        query = parse_query(
+            "SeLeCt * FrOm part WhErE p_size >= 10", schema
+        )
+        assert query.selections[0].op == ">="
+
+    def test_qualified_references(self, schema):
+        query = parse_query(
+            "select * from part, lineitem where part.p_partkey = lineitem.l_partkey",
+            schema,
+        )
+        assert len(query.joins) == 1
+
+    def test_all_comparison_operators(self, schema):
+        for op in ("=", "<", "<=", ">", ">="):
+            query = parse_query(f"select * from part where p_size {op} 10", schema)
+            assert query.selections[0].op == op
+
+    def test_custom_name(self, schema):
+        query = parse_query("select * from part", schema, name="my_q")
+        assert query.name == "my_q"
+
+
+class TestErrors:
+    def test_not_select(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("delete from part", schema)
+
+    def test_unknown_table(self, schema):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            parse_query("select * from ghosts", schema)
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("select * from part where nothing < 3", schema)
+
+    def test_ambiguous_column(self, schema):
+        # p_partkey lives only on part, but a deliberately duplicated name
+        # cannot exist in TPC-H; use an unqualified ref not in FROM tables.
+        with pytest.raises(QueryError):
+            parse_query(
+                "select * from part, orders where o_totalprice < p_retailprice_x",
+                schema,
+            )
+
+    def test_non_equi_join_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_query(
+                "select * from part, lineitem where p_partkey < l_partkey", schema
+            )
+
+    def test_no_operator_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("select * from part where p_size", schema)
+
+    def test_disconnected_join_graph_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_query("select * from part, orders", schema)
+
+    def test_table_outside_from_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_query(
+                "select * from part where orders.o_totalprice < 10", schema
+            )

@@ -1,0 +1,90 @@
+"""Tests that the benchmark workload matches Table 2's specification."""
+
+import pytest
+
+from repro.catalog import tpcds_schema, tpch_schema
+from repro.query.workload import (
+    TABLE2_NAMES,
+    example_query,
+    full_workload,
+    tpcds_workload,
+    tpch_workload,
+)
+
+#: (name, geometry, relation count, error dimensions) straight from Table 2.
+TABLE2_SPEC = {
+    "3D_H_Q5": ("chain", 6, 3),
+    "3D_H_Q7": ("chain", 6, 3),
+    "4D_H_Q8": ("branch", 8, 4),
+    "5D_H_Q7": ("chain", 6, 5),
+    "3D_DS_Q15": ("chain", 4, 3),
+    "3D_DS_Q96": ("star", 4, 3),
+    "4D_DS_Q7": ("star", 5, 4),
+    "5D_DS_Q19": ("branch", 6, 5),
+    "4D_DS_Q26": ("star", 5, 4),
+    "4D_DS_Q91": ("branch", 7, 4),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return full_workload(tpch_schema(0.003), tpcds_schema(0.003))
+
+
+class TestTable2Conformance:
+    def test_all_names_present(self, workload):
+        for name in TABLE2_NAMES:
+            assert name in workload
+
+    @pytest.mark.parametrize("name", sorted(TABLE2_SPEC))
+    def test_geometry_and_dimensions(self, workload, name):
+        geometry, relations, dims = TABLE2_SPEC[name]
+        entry = workload[name]
+        assert entry.query.join_graph.geometry() == geometry
+        assert len(entry.query.tables) == relations
+        assert entry.dimensionality == dims
+
+    @pytest.mark.parametrize("name", sorted(TABLE2_SPEC))
+    def test_dimension_ranges_legal(self, workload, name):
+        for dim in workload[name].dimensions():
+            assert 0 < dim.lo < dim.hi <= 1.0
+
+    @pytest.mark.parametrize("name", sorted(TABLE2_SPEC))
+    def test_join_dims_capped_by_pk_cardinality(self, workload, name):
+        """PK-FK join dims must top out at 1/|PK relation| (§4.1)."""
+        entry = workload[name]
+        schema = entry.query.schema
+        for dim in entry.dimensions():
+            pred = entry.query.predicate(dim.pid)
+            if not hasattr(pred, "tables"):
+                continue
+            fk = schema.foreign_key_between(
+                pred.left_table, pred.left_column, pred.right_table, pred.right_column
+            )
+            if fk is not None:
+                expected = 1.0 / schema.table(fk.parent_table).row_count
+                assert dim.hi == pytest.approx(expected)
+
+
+class TestSpecialInstances:
+    def test_eq_is_one_dimensional(self):
+        entry = example_query(tpch_schema(0.003))
+        assert entry.dimensionality == 1
+        assert entry.dimensions()[0].lo == pytest.approx(1e-4)
+
+    def test_q8a_two_selection_dims(self, workload):
+        entry = workload["2D_H_Q8a"]
+        assert entry.dimensionality == 2
+        assert all(pid.startswith("sel:") for pid in entry.dim_pids)
+
+    def test_com_variants_use_selection_dims(self, workload):
+        for name in ("3D_H_Q5b", "4D_H_Q8b"):
+            entry = workload[name]
+            assert all(pid.startswith("sel:") for pid in entry.dim_pids)
+            for dim in entry.dimensions():
+                assert dim.hi == 1.0  # selection dims span to 100%
+
+    def test_tpch_and_tpcds_workloads_disjoint_names(self):
+        h = tpch_workload(tpch_schema(0.003))
+        ds = tpcds_workload(tpcds_schema(0.003))
+        assert not (set(h) & set(ds))

@@ -1,0 +1,96 @@
+"""Tests for the robustness metrics (§2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EssError
+from repro.robustness.metrics import (
+    StrategyProfile,
+    aso,
+    bouquet_aso,
+    bouquet_mso,
+    enhancement_histogram,
+    harm_fraction,
+    max_harm,
+    mso,
+    robustness_enhancement,
+    subopt_worst_field,
+)
+
+
+@pytest.fixture
+def toy_profile():
+    """Two plans over a 3-point 1D space with known costs."""
+    pic = np.array([1.0, 2.0, 4.0])
+    fields = {
+        1: np.array([1.0, 3.0, 40.0]),  # optimal at q0, bad at q2
+        2: np.array([10.0, 2.0, 4.0]),  # bad at q0, optimal later
+    }
+    occupancy = {1: 1, 2: 2}
+    return StrategyProfile(cost_fields=fields, occupancy=occupancy, pic=pic)
+
+
+class TestSingleStrategyMetrics:
+    def test_subopt_worst(self, toy_profile):
+        worst = subopt_worst_field(toy_profile)
+        assert worst == pytest.approx([10.0, 1.5, 10.0])
+
+    def test_mso(self, toy_profile):
+        assert mso(toy_profile) == pytest.approx(10.0)
+
+    def test_aso_weighted_average(self, toy_profile):
+        # per qa: (1*c1 + 2*c2) / (3 * pic)
+        expected = np.mean(
+            [
+                (1 * 1.0 + 2 * 10.0) / (3 * 1.0),
+                (1 * 3.0 + 2 * 2.0) / (3 * 2.0),
+                (1 * 40.0 + 2 * 4.0) / (3 * 4.0),
+            ]
+        )
+        assert aso(toy_profile) == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EssError):
+            StrategyProfile(
+                cost_fields={1: np.ones(3)}, occupancy={1: 1}, pic=np.ones(4)
+            )
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(EssError):
+            StrategyProfile(cost_fields={}, occupancy={}, pic=np.ones(3))
+
+
+class TestBouquetMetrics:
+    def test_mso_aso(self):
+        pic = np.array([1.0, 2.0])
+        field = np.array([3.0, 4.0])
+        assert bouquet_mso(field, pic) == pytest.approx(3.0)
+        assert bouquet_aso(field, pic) == pytest.approx((3.0 + 2.0) / 2)
+
+    def test_max_harm_positive_when_bouquet_worse(self):
+        pic = np.array([1.0, 1.0])
+        nat_worst = np.array([2.0, 5.0])
+        bouquet = np.array([3.0, 4.0])  # worse than NAT's worst at q0
+        assert max_harm(bouquet, pic, nat_worst) == pytest.approx(0.5)
+        assert harm_fraction(bouquet, pic, nat_worst) == pytest.approx(0.5)
+
+    def test_max_harm_negative_when_dominating(self):
+        pic = np.array([1.0])
+        assert max_harm(np.array([2.0]), pic, np.array([10.0])) < 0
+        assert harm_fraction(np.array([2.0]), pic, np.array([10.0])) == 0.0
+
+
+class TestEnhancement:
+    def test_enhancement_ratio(self):
+        pic = np.array([1.0, 1.0])
+        nat_worst = np.array([100.0, 4.0])
+        bouquet = np.array([2.0, 2.0])
+        enhancement = robustness_enhancement(bouquet, pic, nat_worst)
+        assert enhancement == pytest.approx([50.0, 2.0])
+
+    def test_histogram_buckets_sum_to_100(self):
+        values = np.array([0.5, 5.0, 50.0, 500.0, 5000.0, 50000.0])
+        hist = enhancement_histogram(values)
+        assert sum(hist.values()) == pytest.approx(100.0)
+        assert hist["< 1x"] == pytest.approx(100 / 6)
+        assert hist[">= 10000x"] == pytest.approx(100 / 6)

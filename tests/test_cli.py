@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+ENV = ["--benchmark", "tpch", "--scale", "0.002", "--seed", "7", "--stats-sample", "800"]
+EQ_SQL = (
+    "select * from lineitem, orders, part "
+    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+    "and p_retailprice < 1000"
+)
+
+
+class TestSchemaCommand:
+    def test_lists_tables(self, capsys):
+        assert main(["schema"] + ENV) == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out and "rows=" in out
+        assert "foreign keys: 8" in out
+
+    def test_tpcds_environment(self, capsys):
+        assert main(["schema", "--benchmark", "tpcds", "--scale", "0.002"]) == 0
+        assert "store_sales" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_prints_plan(self, capsys):
+        assert main(["explain"] + ENV + [EQ_SQL]) == 0
+        out = capsys.readouterr().out
+        assert "Query" in out
+        assert "cost=" in out and "rows=" in out
+
+    def test_bad_sql_fails_gracefully(self, capsys):
+        assert main(["explain"] + ENV + ["drop table part"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompileCommand:
+    def test_compile_and_validate(self, capsys):
+        code = main(
+            ["compile"] + ENV + [EQ_SQL, "--resolution", "24", "--validate"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Plan bouquet" in out
+        assert "bouquet validation: OK" in out
+
+    def test_compile_and_save(self, capsys, tmp_path):
+        path = os.path.join(tmp_path, "b.json")
+        code = main(
+            ["compile"] + ENV + [EQ_SQL, "--resolution", "24", "--save", path]
+        )
+        assert code == 0
+        assert os.path.exists(path)
+
+
+class TestRunCommand:
+    def test_run_inline(self, capsys):
+        code = main(["run"] + ENV + [EQ_SQL, "--resolution", "24"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result:" in out and "rows" in out
+        assert "IC1" in out
+
+    def test_run_from_saved_artifact(self, capsys, tmp_path):
+        path = os.path.join(tmp_path, "b.json")
+        assert (
+            main(["compile"] + ENV + [EQ_SQL, "--resolution", "24", "--save", path])
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["run"] + ENV + [EQ_SQL, "--load", path, "--mode", "basic"])
+        assert code == 0
+        assert "result:" in capsys.readouterr().out
+
+    def test_deterministic_across_invocations(self, capsys):
+        main(["run"] + ENV + [EQ_SQL, "--resolution", "24"])
+        first = capsys.readouterr().out
+        main(["run"] + ENV + [EQ_SQL, "--resolution", "24"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestAdviseCommand:
+    def test_recommends_bouquet_for_hard_query(self, capsys):
+        # A many-to-many (non-FK) join is high-uncertainty.
+        code = main(
+            ["advise"]
+            + ENV
+            + ["select * from lineitem, partsupp where l_suppkey = ps_suppkey"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended mode: bouquet" in out
+
+    def test_update_flag_recommends_native(self, capsys):
+        code = main(["advise"] + ENV + [EQ_SQL, "--update"])
+        assert code == 0
+        assert "recommended mode: native" in capsys.readouterr().out

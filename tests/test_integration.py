@@ -1,0 +1,112 @@
+"""End-to-end integration tests reproducing the paper's headline claims
+on miniature environments."""
+
+import numpy as np
+import pytest
+
+from repro.core import basic_cost_field, simulate_at
+from repro.core.simulation import sample_locations
+from repro.robustness import (
+    bouquet_aso,
+    bouquet_mso,
+    harm_fraction,
+    max_harm,
+    robustness_enhancement,
+)
+
+
+class TestEqPipeline:
+    """The 1D running example, Figures 2-4."""
+
+    def test_posp_plan_switches_along_dimension(self, eq_diagram):
+        """Figure 2: different POSP plans own different selectivity ranges."""
+        assert len(eq_diagram.posp_plan_ids) >= 3
+
+    def test_bouquet_mso_within_bound(self, eq_bouquet, eq_diagram):
+        field = basic_cost_field(eq_bouquet)
+        assert bouquet_mso(field, eq_diagram.costs) <= eq_bouquet.mso_bound * (1 + 1e-6)
+
+    def test_bouquet_beats_native_worst_case(self, eq_bouquet, eq_diagram):
+        """Figure 4's headline: BOU's MSO is far below NAT's."""
+        from repro.robustness import NativeOptimizerStrategy
+
+        nat = NativeOptimizerStrategy(eq_diagram)
+        field = basic_cost_field(eq_bouquet)
+        assert bouquet_mso(field, eq_diagram.costs) < nat.mso() / 5
+
+    def test_bouquet_aso_moderate(self, eq_bouquet, eq_diagram):
+        """§6.3: average-case sub-optimality stays small (typically < 4)."""
+        field = basic_cost_field(eq_bouquet)
+        assert bouquet_aso(field, eq_diagram.costs) < 4.0
+
+
+class TestMultiDimensional:
+    @pytest.fixture(scope="class", params=["3D_DS_Q96", "3D_H_Q5"])
+    def query_lab(self, lab, request):
+        return lab.build(request.param)
+
+    def test_mso_within_bound(self, query_lab):
+        field = query_lab.bouquet_cost_field
+        assert bouquet_mso(field, query_lab.pic) <= query_lab.bouquet.mso_bound * (
+            1 + 1e-6
+        )
+
+    def test_bouquet_dominates_nat_mso(self, query_lab):
+        field = query_lab.bouquet_cost_field
+        assert bouquet_mso(field, query_lab.pic) < query_lab.nat.mso()
+
+    def test_bouquet_cardinality_anorexic(self, query_lab):
+        """Figure 18: BOU's plan count is ~10 or fewer."""
+        assert query_lab.bouquet.cardinality <= 10
+
+    def test_harm_is_rare(self, query_lab):
+        """§6.5: harmful locations are a small fraction of the ESS."""
+        field = query_lab.bouquet_cost_field
+        frac = harm_fraction(field, query_lab.pic, query_lab.nat.subopt_worst())
+        assert frac <= 0.15
+
+    def test_max_harm_bounded(self, query_lab):
+        field = query_lab.bouquet_cost_field
+        mh = max_harm(field, query_lab.pic, query_lab.nat.subopt_worst())
+        assert mh <= query_lab.bouquet.mso_bound - 1
+
+    def test_enhancement_mostly_large(self, query_lab):
+        """Figure 16's shape: most locations improve materially."""
+        field = query_lab.bouquet_cost_field
+        enhancement = robustness_enhancement(
+            field, query_lab.pic, query_lab.nat.subopt_worst()
+        )
+        assert np.median(enhancement) > 1.0
+
+    def test_optimized_mode_samples_complete(self, query_lab):
+        for loc in sample_locations(query_lab.space, 5, seed=2):
+            assert simulate_at(query_lab.bouquet, loc, "optimized").completed
+
+
+class TestRepeatability:
+    """§1: the execution strategy is repeatable across invocations."""
+
+    def test_same_bouquet_same_traces(self, lab):
+        ql = lab.build("3D_DS_Q96")
+        loc = tuple(s - 1 for s in ql.space.shape)
+        traces = []
+        for _ in range(3):
+            result = simulate_at(ql.bouquet, loc, "optimized")
+            traces.append([(e.contour_index, e.plan_id, e.spilled) for e in result.executions])
+        assert traces[0] == traces[1] == traces[2]
+
+    def test_rebuilt_lab_identical_bouquet(self):
+        from repro.bench.harness import Lab
+
+        kwargs = dict(
+            tpch_scale=0.002,
+            tpcds_scale=0.002,
+            stats_sample=500,
+            resolutions={1: 20},
+        )
+        a = Lab(**kwargs).build("EQ")
+        b = Lab(**kwargs).build("EQ")
+        assert a.bouquet.plan_ids == b.bouquet.plan_ids
+        assert [c.cost for c in a.bouquet.contours] == pytest.approx(
+            [c.cost for c in b.bouquet.contours]
+        )

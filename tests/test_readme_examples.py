@@ -1,0 +1,55 @@
+"""Guard that the README / package-docstring code snippets actually run."""
+
+import pytest
+
+
+class TestReadmeSnippets:
+    def test_quickstart_snippet(self):
+        from repro import Lab, simulate_at
+
+        lab = Lab(
+            tpch_scale=0.002,
+            tpcds_scale=0.002,
+            stats_sample=500,
+            resolutions={3: 8},
+        )
+        ql = lab.build("3D_DS_Q96")
+        assert ql.bouquet.describe()
+        assert ql.bouquet.mso_bound > 0
+        result = simulate_at(ql.bouquet, (4, 7, 2), mode="optimized")
+        assert result.completed
+        assert result.total_cost / ql.diagram.cost_at((4, 7, 2)) >= 1.0
+
+    def test_real_execution_snippet(self):
+        from repro import ExecutionEngine, Lab, RealExecutionService
+        from repro.core import BouquetRunner
+
+        lab = Lab(
+            tpch_scale=0.002,
+            tpcds_scale=0.002,
+            stats_sample=500,
+            resolutions={3: 8},
+        )
+        ql = lab.build("3D_DS_Q96")
+        engine = ExecutionEngine(lab.ds_db)
+        service = RealExecutionService(ql.bouquet, engine)
+        result = BouquetRunner(ql.bouquet, service, mode="optimized").run()
+        assert result.completed
+        assert result.result_rows is not None
+
+    def test_session_snippet(self):
+        from repro import BouquetSession, Database, tpch_schema
+        from repro.catalog import tpch_generator_spec
+
+        schema = tpch_schema(0.002)
+        db = Database.generate(schema, tpch_generator_spec(0.002), seed=1)
+        stats = db.build_statistics(sample_size=500)
+        session = BouquetSession(schema, statistics=stats, database=db)
+        compiled = session.compile(
+            "select count(*) from lineitem, orders, part "
+            "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+            "and p_retailprice < 1000 group by p_brand",
+            resolution=16,
+        )
+        result = compiled.execute()
+        assert result.completed

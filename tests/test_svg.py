@@ -1,0 +1,67 @@
+"""Tests for the SVG plotting backend."""
+
+import numpy as np
+import pytest
+
+from repro.bench.svg import SvgCanvas, diagram_map, grouped_log_bars, loglog_chart
+
+
+class TestCanvas:
+    def test_render_well_formed(self):
+        canvas = SvgCanvas(100, 80)
+        canvas.line(0, 0, 10, 10)
+        canvas.text(5, 5, "a < b & c")
+        svg = canvas.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "a &lt; b &amp; c" in svg  # escaping
+
+    def test_save(self, tmp_path):
+        path = str(tmp_path / "x.svg")
+        SvgCanvas().save(path)
+        with open(path) as handle:
+            assert "<svg" in handle.read()
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        canvas = SvgCanvas()
+        canvas.rect(1, 2, 3, 4, fill="#000", title="cell (1,2)")
+        canvas.circle(5, 5, 2, "#123456")
+        canvas.polyline([(0, 0), (1, 1)], "#abc")
+        ET.fromstring(canvas.render())  # raises on malformed XML
+
+
+class TestCharts:
+    def test_loglog_chart_contains_series(self):
+        svg = loglog_chart(
+            {"PIC": ([1e-4, 1e-2, 1.0], [10.0, 100.0, 1000.0])},
+            "t", "x", "y", hlines=[50.0, 500.0],
+        ).render()
+        assert "polyline" in svg
+        assert svg.count("stroke-dasharray") == 2  # the two hlines
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(svg)
+
+    def test_grouped_log_bars(self):
+        svg = grouped_log_bars(
+            ["q1", "q2"], {"NAT": [100.0, 2000.0], "BOU": [3.0, 10.0]},
+            "t", "MSO",
+        ).render()
+        # 4 bars plus background and legend rects.
+        assert svg.count("<rect") >= 5
+        assert "q1" in svg and "NAT" in svg
+
+    def test_grouped_bars_skip_nonpositive(self):
+        svg = grouped_log_bars(["q"], {"A": [0.0], "B": [5.0]}, "t", "y").render()
+        assert "B: 5" in svg
+
+    def test_diagram_map(self):
+        plan_ids = np.array([[1, 1, 2], [1, 2, 2], [3, 3, 3]])
+        svg = diagram_map(plan_ids, "map", contour_cells={(1, 1)}).render()
+        assert "P1" in svg and "P3" in svg
+        assert "<circle" in svg  # the contour marker
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(svg)
