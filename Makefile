@@ -1,14 +1,33 @@
 # Convenience targets for the plan-bouquet reproduction.
+#
+#   make help         show this target summary
+#   make install      editable install into the current environment
+#   make test         run the unit/integration/property test suite
+#   make lint         ruff check (imports + obvious-bug rules; config in
+#                     pyproject.toml) — skips with a hint if ruff is absent
+#   make bench        regenerate every paper table/figure
+#   make experiments  bench + rebuild EXPERIMENTS.md
+#   make examples     run the example scripts end to end
+#   make all          test + experiments + examples
+#   make clean        remove caches and generated results
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples all clean
+.PHONY: help install test lint bench experiments examples all clean
+
+help:
+	@sed -n 's/^#   //p' Makefile
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	@$(PYTHON) -c "import ruff" 2>/dev/null \
+		&& $(PYTHON) -m ruff check src tests benchmarks examples \
+		|| echo "ruff not installed; skipping (pip install ruff to enable)"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -19,7 +19,12 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
 @pytest.fixture(scope="session")
 def lab():
-    return Lab()
+    """The shared Lab; its telemetry summary lands next to the results."""
+    lab = Lab()
+    yield lab
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "_trace_summary.txt"), "w") as handle:
+        handle.write(lab.trace_summary() + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -7,8 +7,6 @@ increasing δ and verifies the inflated bound (δ=0.4 matches the average
 modeling error measured for PostgreSQL by Wu et al., ICDE 2013).
 """
 
-import numpy as np
-
 from _bench_utils import run_once
 from repro.bench.reporting import format_table
 from repro.core import BouquetRunner, mso_bound_with_model_error

@@ -5,8 +5,6 @@ the price of the (1+λ) budget inflation.  λ=20% is the paper's sweet
 spot; this ablation regenerates the trade-off curve behind that choice.
 """
 
-import numpy as np
-
 from _bench_utils import run_once
 from repro.bench.reporting import format_table
 from repro.core import basic_cost_field, identify_bouquet

@@ -5,8 +5,6 @@ says the worst-case bound r²/(r−1) is minimized at r=2; the measured MSO
 curve should respect each ratio's bound and bottom out around r=2.
 """
 
-import numpy as np
-
 from _bench_utils import run_once
 from repro.bench.reporting import format_table
 from repro.core import basic_cost_field, identify_bouquet, mso_bound_1d

@@ -13,7 +13,6 @@ from _bench_utils import run_once
 from repro.bench.reporting import format_table
 from repro.core import simulate_at
 from repro.core.simulation import sample_locations
-from repro.robustness import bouquet_mso
 from repro.robustness.reopt import ReoptStrategy
 
 QUERIES = ["EQ", "3D_DS_Q96", "3D_H_Q7"]

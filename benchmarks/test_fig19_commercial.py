@@ -13,9 +13,8 @@ bouquet, and no harm is incurred.
 from _bench_utils import run_once
 from repro.bench.harness import Lab
 from repro.bench.reporting import format_table
-from repro.core import basic_cost_field
 from repro.optimizer import COMMERCIAL_COST_MODEL
-from repro.robustness import bouquet_aso, bouquet_mso, harm_fraction, max_harm
+from repro.robustness import bouquet_aso, bouquet_mso, max_harm
 
 COM_QUERIES = ["3D_H_Q5b", "4D_H_Q8b"]
 

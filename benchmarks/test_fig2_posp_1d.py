@@ -5,8 +5,6 @@ selectivity interval of the p_retailprice predicate over which it is the
 optimizer's choice.
 """
 
-import numpy as np
-
 from _bench_utils import run_once
 from repro.bench.reporting import format_table
 

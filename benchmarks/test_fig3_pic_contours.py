@@ -5,8 +5,6 @@ EQ query's PIC, each step's crossing selectivity, the assigned bouquet
 plan, and the resulting bouquet set.
 """
 
-import numpy as np
-
 from _bench_utils import run_once
 from repro.bench.reporting import format_table
 

@@ -7,7 +7,6 @@ abstract plan costing, the vectorized grid cost field, and engine
 execution throughput.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.simulation import basic_cost_field, simulate_at

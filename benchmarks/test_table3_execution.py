@@ -13,8 +13,6 @@ summary.  "Time" is engine cost units (the engine charges the same units
 as the optimizer; wall-clock seconds are testbed-specific).
 """
 
-import numpy as np
-
 from _bench_utils import run_once
 from repro.bench.reporting import format_table
 from repro.core import BouquetRunner

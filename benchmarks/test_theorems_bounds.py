@@ -6,8 +6,6 @@ adversarial lower-bound construction showing no deterministic budget
 sequence achieves worst-case sub-optimality below 4.
 """
 
-import numpy as np
-
 from _bench_utils import run_once
 from repro.bench.reporting import format_table
 from repro.core.bounds import (

@@ -13,16 +13,9 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    Database,
-    ErrorDimension,
     ExecutionEngine,
     Lab,
-    Optimizer,
-    PlanDiagram,
     RealExecutionService,
-    SelectivitySpace,
-    actual_selectivities,
-    identify_bouquet,
     simulate_at,
 )
 from repro.core import BouquetRunner

@@ -45,6 +45,15 @@ from .exceptions import (
     ReproError,
 )
 from .executor import ExecutionEngine, RealExecutionService
+from .obs import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    TraceSummary,
+    Tracer,
+    read_trace,
+    summarize_trace,
+)
 from .optimizer import (
     COMMERCIAL_COST_MODEL,
     POSTGRES_COST_MODEL,
@@ -86,6 +95,13 @@ __all__ = [
     "ReproError",
     "ExecutionEngine",
     "RealExecutionService",
+    "NULL_TRACER",
+    "JsonlSink",
+    "MemorySink",
+    "TraceSummary",
+    "Tracer",
+    "read_trace",
+    "summarize_trace",
     "COMMERCIAL_COST_MODEL",
     "POSTGRES_COST_MODEL",
     "Optimizer",

@@ -21,6 +21,8 @@ from ..core.simulation import basic_cost_field
 from ..datagen.database import Database
 from ..ess.diagram import PlanDiagram, coarse_subgrid
 from ..ess.space import SelectivitySpace
+from ..obs.tracer import MemorySink, Tracer
+from ..obs.summary import summarize_trace
 from ..optimizer.cost_model import POSTGRES_COST_MODEL, CostModel
 from ..optimizer.optimizer import Optimizer
 from ..optimizer.selectivity import actual_selectivities
@@ -90,20 +92,24 @@ class Lab:
         lambda_: float = 0.2,
         ratio: float = 2.0,
         resolutions: Optional[Dict[int, int]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.lambda_ = lambda_
         self.ratio = ratio
         self.resolutions = dict(DEFAULT_RESOLUTIONS)
         if resolutions:
             self.resolutions.update(resolutions)
+        #: Lab-wide telemetry: an in-memory tracer by default so benches
+        #: can emit a trace summary next to their results for free.
+        self.tracer = tracer if tracer is not None else Tracer(MemorySink())
         self.h_schema = tpch_schema(tpch_scale)
         self.ds_schema = tpcds_schema(tpcds_scale)
         self.h_db = Database.generate(self.h_schema, tpch_generator_spec(tpch_scale), seed=seed)
         self.ds_db = Database.generate(self.ds_schema, tpcds_generator_spec(tpcds_scale), seed=seed + 1)
         self.h_stats = self.h_db.build_statistics(sample_size=stats_sample, seed=seed)
         self.ds_stats = self.ds_db.build_statistics(sample_size=stats_sample, seed=seed)
-        self.h_optimizer = Optimizer(self.h_schema, self.h_stats, cost_model)
-        self.ds_optimizer = Optimizer(self.ds_schema, self.ds_stats, cost_model)
+        self.h_optimizer = Optimizer(self.h_schema, self.h_stats, cost_model, tracer=self.tracer)
+        self.ds_optimizer = Optimizer(self.ds_schema, self.ds_stats, cost_model, tracer=self.tracer)
         self.workload = full_workload(self.h_schema, self.ds_schema)
         self._labs: Dict[str, QueryLab] = {}
 
@@ -126,15 +132,16 @@ class Lab:
         optimizer, database = self._env_for(name)
         dims = workload.dimensions()
         res = resolution or self.resolution_for(len(dims))
-        base = actual_selectivities(workload.query, database)
-        space = SelectivitySpace(workload.query, dims, res, base)
-        if space.dimensionality <= EXHAUSTIVE_UP_TO:
-            diagram = PlanDiagram.exhaustive(optimizer, space)
-        else:
-            diagram = PlanDiagram.from_candidates(
-                optimizer, space, coarse_subgrid(space, per_dim=4)
-            )
-        bouquet = identify_bouquet(diagram, lambda_=self.lambda_, ratio=self.ratio)
+        with self.tracer.span("lab.build", query=name, resolution=res):
+            base = actual_selectivities(workload.query, database)
+            space = SelectivitySpace(workload.query, dims, res, base)
+            if space.dimensionality <= EXHAUSTIVE_UP_TO:
+                diagram = PlanDiagram.exhaustive(optimizer, space)
+            else:
+                diagram = PlanDiagram.from_candidates(
+                    optimizer, space, coarse_subgrid(space, per_dim=4)
+                )
+            bouquet = identify_bouquet(diagram, lambda_=self.lambda_, ratio=self.ratio)
         lab = QueryLab(
             workload=workload,
             space=space,
@@ -149,6 +156,20 @@ class Lab:
     def build_all(self, names: Optional[List[str]] = None) -> Dict[str, QueryLab]:
         names = names or TABLE2_NAMES
         return {name: self.build(name) for name in names}
+
+    def trace_summary(self) -> str:
+        """Condense the lab tracer's records + metrics into a text report.
+
+        Works only with a memory-sinked tracer (the default); other sinks
+        yield a metrics-only summary.
+        """
+        records = list(getattr(self.tracer.sink, "records", ()))
+        snapshot = self.tracer.snapshot()
+        for name, value in sorted(snapshot["counters"].items()):
+            records.append({"type": "counter", "name": name, "value": value})
+        for name, stats in sorted(snapshot["timings"].items()):
+            records.append({"type": "timing", "name": name, **stats})
+        return summarize_trace(records).describe()
 
 
 _SHARED_LAB: Optional[Lab] = None

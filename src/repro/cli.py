@@ -12,7 +12,9 @@ across machines:
 * ``advise``  — apply §8's deployment rules (native / re-optimize /
   bouquet) to a query instance;
 * ``run``     — execute a query through the bouquet (compiling first or
-  loading a saved artifact) and print the execution trace.
+  loading a saved artifact) and print the execution trace;
+* ``trace``   — summarize a JSONL telemetry trace (written with
+  ``compile/run --trace FILE``) into a Table 3-style per-contour account.
 """
 
 from __future__ import annotations
@@ -28,8 +30,27 @@ from .core.session import BouquetSession, CompiledQuery
 from .core.validation import validate_bouquet
 from .datagen.database import Database
 from .exceptions import ReproError
+from .obs import JsonlSink, Tracer, read_trace, summarize_trace
 from .optimizer.explain import explain as explain_plan
 from .query.sql import parse_query
+
+
+def _session_tracer(args) -> Tracer:
+    """A JSONL-sinked tracer when ``--trace`` was given, else null."""
+    from .obs import NULL_TRACER
+
+    if getattr(args, "trace", None):
+        try:
+            return Tracer(JsonlSink(args.trace))
+        except OSError as exc:
+            raise ReproError(f"cannot open trace file: {exc}") from exc
+    return NULL_TRACER
+
+
+def _finish_trace(tracer: Tracer, args):
+    if getattr(args, "trace", None):
+        tracer.close()
+        print(f"trace written to {args.trace}")
 
 
 def _build_environment(args):
@@ -84,14 +105,17 @@ def _cmd_explain(args) -> int:
 
 def _cmd_compile(args) -> int:
     schema, database, statistics = _build_environment(args)
+    tracer = _session_tracer(args)
     session = BouquetSession(
         schema,
         statistics=statistics,
         database=database,
         lambda_=args.anorexic_lambda,
         ratio=args.ratio,
+        tracer=tracer,
     )
     compiled = session.compile(args.sql, resolution=args.resolution)
+    _finish_trace(tracer, args)
     print(compiled.bouquet.describe())
     if args.validate:
         report = validate_bouquet(compiled.bouquet, check_optimized=True, sample=8)
@@ -121,13 +145,17 @@ def _cmd_advise(args) -> int:
 
 def _cmd_run(args) -> int:
     schema, database, statistics = _build_environment(args)
-    session = BouquetSession(schema, statistics=statistics, database=database)
+    tracer = _session_tracer(args)
+    session = BouquetSession(
+        schema, statistics=statistics, database=database, tracer=tracer
+    )
     if args.load:
         query = parse_query(args.sql, schema)
         compiled = CompiledQuery.load(args.load, session, query)
     else:
         compiled = session.compile(args.sql, resolution=args.resolution)
     result = compiled.execute(mode=args.mode)
+    _finish_trace(tracer, args)
     for record in result.executions:
         kind = "spilled" if record.spilled else "full"
         status = "completed" if record.completed else "budget-killed"
@@ -140,6 +168,16 @@ def _cmd_run(args) -> int:
         f"{result.execution_count} executions "
         f"(guaranteed MSO <= {compiled.mso_bound:.1f})"
     )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    try:
+        records = read_trace(args.file)
+    except (OSError, ValueError) as exc:  # unreadable file or corrupt JSONL
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_trace(records).describe())
     return 0
 
 
@@ -167,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--ratio", type=float, default=2.0)
     p_compile.add_argument("--save", metavar="PATH", default=None)
     p_compile.add_argument("--validate", action="store_true")
+    p_compile.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL telemetry trace of the compile phase",
+    )
     p_compile.set_defaults(func=_cmd_compile)
 
     p_advise = sub.add_parser(
@@ -184,7 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--load", metavar="PATH", default=None)
     p_run.add_argument("--resolution", type=int, default=None)
     p_run.add_argument("--mode", choices=("basic", "optimized"), default="optimized")
+    p_run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL telemetry trace of compile + execution",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a JSONL telemetry trace (Table 3-style account)"
+    )
+    p_trace.add_argument("file", help="trace file written with --trace")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -105,6 +105,11 @@ def identify_bouquet(
     frontier locations, so plans shared between adjacent contours are
     reused and the overall bouquet stays small.
     """
+    from .contours import _diagram_tracer
+
+    span = _diagram_tracer(diagram).span(
+        "compile.identify_bouquet", lambda_=lambda_, ratio=ratio
+    )
     contours = build_contours(diagram, ratio)
     if not contours:
         raise BouquetError("no isocost contours could be built")
@@ -133,6 +138,12 @@ def identify_bouquet(
         )
     budgets = [(1.0 + lambda_) * contour.cost for contour in reduced_contours]
     plan_ids = sorted({pid for c in reduced_contours for pid in c.plan_ids})
+    span.set(
+        cardinality=len(plan_ids),
+        rho=densest_contour_plans(reduced_contours),
+        contours=len(reduced_contours),
+    )
+    span.end()
     return PlanBouquet(
         space=diagram.space,
         diagram=diagram,

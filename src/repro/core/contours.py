@@ -21,6 +21,14 @@ import numpy as np
 from ..exceptions import BouquetError
 from ..ess.diagram import PlanDiagram
 from ..ess.space import Location
+from ..obs.tracer import NULL_TRACER, Tracer
+
+
+def _diagram_tracer(diagram: PlanDiagram) -> Tracer:
+    """The tracer attached to the diagram's optimizer (null if none)."""
+    if diagram.cache is not None:
+        return diagram.cache.optimizer.tracer
+    return NULL_TRACER
 
 #: The optimal geometric ratio (Theorem 1: r=2 minimizes r²/(r−1)).
 OPTIMAL_RATIO = 2.0
@@ -102,11 +110,21 @@ def build_contours(
     """
     costs = diagram.costs
     steps = contour_costs(diagram.cmin, diagram.cmax, ratio)
+    tracer = _diagram_tracer(diagram)
     contours: List[Contour] = []
     for k, ic in enumerate(steps, start=1):
         locations = maximal_region_frontier(costs, ic)
         plan_at = {loc: diagram.plan_at(loc) for loc in locations}
-        contours.append(Contour(index=k, cost=ic, locations=locations, plan_at=plan_at))
+        contour = Contour(index=k, cost=ic, locations=locations, plan_at=plan_at)
+        if tracer.enabled:
+            tracer.event(
+                "compile.contour",
+                index=k,
+                cost=ic,
+                locations=len(locations),
+                plans=contour.density,
+            )
+        contours.append(contour)
     return contours
 
 

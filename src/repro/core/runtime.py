@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..ess.space import Location
 from ..exceptions import BouquetError
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..optimizer.plans import (
     cost_plan,
     error_node_depth,
@@ -225,6 +226,7 @@ class BouquetRunner:
         mode: str = "optimized",
         equivalence_threshold: float = 0.2,
         model_error_delta: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ):
         """``model_error_delta`` inflates every contour budget by (1+δ),
         preserving the completion guarantee under bounded cost-modeling
@@ -241,13 +243,44 @@ class BouquetRunner:
         self.budgets = [
             budget * (1.0 + model_error_delta) for budget in bouquet.budgets
         ]
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
 
     def run(self) -> BouquetRunResult:
-        if self.mode == "basic":
-            return self._run_basic()
-        return self._run_optimized()
+        with self.tracer.span(
+            "execute.bouquet",
+            mode=self.mode,
+            contours=len(self.bouquet.contours),
+            cardinality=self.bouquet.cardinality,
+        ) as span:
+            if self.mode == "basic":
+                result = self._run_basic()
+            else:
+                result = self._run_optimized()
+            span.set(
+                total_cost=result.total_cost,
+                executions=result.execution_count,
+                completed=result.completed,
+                final_plan=result.final_plan_id,
+            )
+            return result
+
+    def _trace_execution(self, record: ExecutionRecord) -> None:
+        """Emit one per-execution event (the Table 3 account row)."""
+        if not self.tracer.enabled:
+            return
+        self.tracer.event(
+            "runtime.execution",
+            contour=record.contour_index,
+            plan=record.plan_id,
+            spilled=record.spilled,
+            budget=record.budget,
+            cost_spent=record.cost_spent,
+            completed=record.completed,
+            learned=list(record.learned_pids),
+            learned_values={l.pid: l.value for l in record.learned},
+        )
 
     # -- basic (Figure 7) -----------------------------------------------
 
@@ -258,16 +291,16 @@ class BouquetRunner:
             for plan_id in contour.plan_ids:
                 outcome = self.service.run_full(plan_id, budget)
                 total += outcome.cost_spent
-                trace.append(
-                    ExecutionRecord(
-                        contour_index=contour.index,
-                        plan_id=plan_id,
-                        spilled=False,
-                        budget=budget,
-                        cost_spent=outcome.cost_spent,
-                        completed=outcome.completed,
-                    )
+                record = ExecutionRecord(
+                    contour_index=contour.index,
+                    plan_id=plan_id,
+                    spilled=False,
+                    budget=budget,
+                    cost_spent=outcome.cost_spent,
+                    completed=outcome.completed,
                 )
+                trace.append(record)
+                self._trace_execution(record)
                 if outcome.completed:
                     return BouquetRunResult(
                         total_cost=total,
@@ -328,16 +361,16 @@ class BouquetRunner:
                 if not outcome.completed:
                     exhausted.add((cid, plan_id))
                 total += outcome.cost_spent
-                trace.append(
-                    ExecutionRecord(
-                        contour_index=contour.index,
-                        plan_id=plan_id,
-                        spilled=False,
-                        budget=budget,
-                        cost_spent=outcome.cost_spent,
-                        completed=outcome.completed,
-                    )
+                record = ExecutionRecord(
+                    contour_index=contour.index,
+                    plan_id=plan_id,
+                    spilled=False,
+                    budget=budget,
+                    cost_spent=outcome.cost_spent,
+                    completed=outcome.completed,
                 )
+                trace.append(record)
+                self._trace_execution(record)
                 if outcome.completed:
                     return BouquetRunResult(
                         total_cost=total,
@@ -390,16 +423,16 @@ class BouquetRunner:
                     exhausted.add((cid, plan_id))
                     outcome = self.service.run_full(plan_id, budget)
                     total += outcome.cost_spent
-                    trace.append(
-                        ExecutionRecord(
-                            contour_index=contour.index,
-                            plan_id=plan_id,
-                            spilled=False,
-                            budget=budget,
-                            cost_spent=outcome.cost_spent,
-                            completed=outcome.completed,
-                        )
+                    record = ExecutionRecord(
+                        contour_index=contour.index,
+                        plan_id=plan_id,
+                        spilled=False,
+                        budget=budget,
+                        cost_spent=outcome.cost_spent,
+                        completed=outcome.completed,
                     )
+                    trace.append(record)
+                    self._trace_execution(record)
                     if outcome.completed:
                         return BouquetRunResult(
                             total_cost=total,
@@ -416,17 +449,17 @@ class BouquetRunner:
             total += outcome.cost_spent
             if not outcome.completed and outcome.cost_spent >= budget * (1 - 1e-9):
                 exhausted.add((cid, choice.plan_id))
-            trace.append(
-                ExecutionRecord(
-                    contour_index=contour.index,
-                    plan_id=choice.plan_id,
-                    spilled=True,
-                    budget=budget,
-                    cost_spent=outcome.cost_spent,
-                    completed=outcome.completed,
-                    learned=tuple(outcome.learned),
-                )
+            record = ExecutionRecord(
+                contour_index=contour.index,
+                plan_id=choice.plan_id,
+                spilled=True,
+                budget=budget,
+                cost_spent=outcome.cost_spent,
+                completed=outcome.completed,
+                learned=tuple(outcome.learned),
             )
+            trace.append(record)
+            self._trace_execution(record)
             # Merge the learning into q_run (first-quadrant invariant: the
             # learned values are lower bounds, so max-merge is safe).
             pid_to_dim = {dim.pid: i for i, dim in enumerate(dims)}
@@ -436,8 +469,18 @@ class BouquetRunner:
                     qrun[d] = learned.value
                 if learned.exact:
                     exact.add(d)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "runtime.qrun",
+                    values=list(qrun),
+                    exact=[dims[d].pid for d in sorted(exact)],
+                )
             # Early contour change (Figure 13's last step).
             if self._optimal_cost_estimate(qrun) >= budget and cid + 1 < len(contours):
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "runtime.contour_crossed", contour=contour.index, early=True
+                    )
                 cid += 1
         return BouquetRunResult(
             total_cost=total, executions=trace, final_plan_id=None, completed=False

@@ -28,6 +28,7 @@ from ..ess.diagram import PlanCostCache, PlanDiagram, coarse_subgrid
 from ..ess.dimensioning import Uncertainty, select_error_dimensions
 from ..ess.space import ErrorDimension, SelectivitySpace
 from ..exceptions import BouquetError, QueryError
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..optimizer.cost_model import POSTGRES_COST_MODEL, CostModel
 from ..optimizer.optimizer import Optimizer
 from ..optimizer.selectivity import actual_selectivities
@@ -57,11 +58,16 @@ class BouquetSession:
         cost_model: CostModel = POSTGRES_COST_MODEL,
         lambda_: float = 0.2,
         ratio: float = 2.0,
+        tracer: Optional[Tracer] = None,
     ):
+        """``tracer`` (default: null) observes the whole pipeline: it is
+        attached to the optimizer and threaded through diagram
+        construction, bouquet identification, and every execution."""
         self.schema = schema
         self.statistics = statistics
         self.database = database
-        self.optimizer = Optimizer(schema, statistics, cost_model)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.optimizer = Optimizer(schema, statistics, cost_model, tracer=self.tracer)
         self.lambda_ = lambda_
         self.ratio = ratio
 
@@ -91,20 +97,30 @@ class BouquetSession:
                 "no error-prone dimensions identified; the native optimizer "
                 "suffices for this query"
             )
-        if base_assignment is None:
-            if self.database is not None:
-                base_assignment = actual_selectivities(query, self.database)
+        with self.tracer.span("session.compile", query=query.name) as span:
+            if base_assignment is None:
+                if self.database is not None:
+                    base_assignment = actual_selectivities(query, self.database)
+                else:
+                    base_assignment = self.optimizer.estimated_assignment(query)
+            res = resolution or _DEFAULT_RESOLUTIONS.get(len(dimensions), 5)
+            space = SelectivitySpace(query, dimensions, res, base_assignment)
+            if space.size <= _EXHAUSTIVE_LIMIT:
+                diagram = PlanDiagram.exhaustive(self.optimizer, space)
             else:
-                base_assignment = self.optimizer.estimated_assignment(query)
-        res = resolution or _DEFAULT_RESOLUTIONS.get(len(dimensions), 5)
-        space = SelectivitySpace(query, dimensions, res, base_assignment)
-        if space.size <= _EXHAUSTIVE_LIMIT:
-            diagram = PlanDiagram.exhaustive(self.optimizer, space)
-        else:
-            diagram = PlanDiagram.from_candidates(
-                self.optimizer, space, coarse_subgrid(space, per_dim=4)
+                diagram = PlanDiagram.from_candidates(
+                    self.optimizer, space, coarse_subgrid(space, per_dim=4)
+                )
+            bouquet = identify_bouquet(
+                diagram, lambda_=self.lambda_, ratio=self.ratio
             )
-        bouquet = identify_bouquet(diagram, lambda_=self.lambda_, ratio=self.ratio)
+            span.set(
+                dimensions=space.dimensionality,
+                grid=space.size,
+                cardinality=bouquet.cardinality,
+                contours=len(bouquet.contours),
+                mso_bound=bouquet.mso_bound,
+            )
         return CompiledQuery(session=self, query=query, bouquet=bouquet)
 
     def _default_dimensions(self, query: Query) -> List[ErrorDimension]:
@@ -160,16 +176,28 @@ class CompiledQuery:
         database = database or self.session.database
         if database is None:
             raise BouquetError("no database attached; use simulate() instead")
-        engine = ExecutionEngine(database, cost_model=self.session.optimizer.cost_model)
-        service = RealExecutionService(self.bouquet, engine)
-        return BouquetRunner(self.bouquet, service, mode=mode).run()
+        tracer = self.session.tracer
+        with tracer.span("session.execute", query=self.query.name, mode=mode):
+            engine = ExecutionEngine(
+                database,
+                cost_model=self.session.optimizer.cost_model,
+                tracer=tracer,
+            )
+            service = RealExecutionService(self.bouquet, engine)
+            return BouquetRunner(
+                self.bouquet, service, mode=mode, tracer=tracer
+            ).run()
 
     def simulate(
         self, qa_values: Sequence[float], mode: str = "optimized"
     ) -> BouquetRunResult:
         """Cost-model-world run against a hypothetical actual location."""
-        service = AbstractExecutionService(self.bouquet, qa_values)
-        return BouquetRunner(self.bouquet, service, mode=mode).run()
+        tracer = self.session.tracer
+        with tracer.span("session.simulate", query=self.query.name, mode=mode):
+            service = AbstractExecutionService(self.bouquet, qa_values)
+            return BouquetRunner(
+                self.bouquet, service, mode=mode, tracer=tracer
+            ).run()
 
     # -- persistence -------------------------------------------------------
 

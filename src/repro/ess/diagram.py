@@ -50,6 +50,9 @@ class PlanCostCache:
         """
         array = self._arrays.get(plan_id)
         if array is None:
+            tracer = self.optimizer.tracer
+            if tracer.enabled:
+                tracer.count("ess.cost_array_builds")
             plan = self.registry.plan(plan_id)
             space = self.space
             assignment: Dict[str, object] = dict(space.base_assignment)
@@ -116,17 +119,25 @@ class PlanDiagram:
         registry = optimizer.registry(space.query)
         plan_ids = np.empty(space.shape, dtype=np.int64)
         costs = np.empty(space.shape, dtype=float)
-        if workers and workers > 1:
-            for location, plan, cost in _parallel_optimize(optimizer, space, workers):
-                plan_id, _ = registry.register(plan)
-                plan_ids[location] = plan_id
-                costs[location] = cost
-        else:
-            for location in space.locations():
-                assignment = space.assignment_at(location)
-                result = optimizer.optimize(space.query, assignment=assignment)
-                plan_ids[location] = result.plan_id
-                costs[location] = result.cost
+        with optimizer.tracer.span(
+            "ess.exhaustive_diagram",
+            locations=space.size,
+            workers=workers or 1,
+        ) as span:
+            if workers and workers > 1:
+                for location, plan, cost in _parallel_optimize(
+                    optimizer, space, workers
+                ):
+                    plan_id, _ = registry.register(plan)
+                    plan_ids[location] = plan_id
+                    costs[location] = cost
+            else:
+                for location in space.locations():
+                    assignment = space.assignment_at(location)
+                    result = optimizer.optimize(space.query, assignment=assignment)
+                    plan_ids[location] = result.plan_id
+                    costs[location] = result.cost
+            span.set(posp=len(np.unique(plan_ids)))
         cache = PlanCostCache(space, optimizer, registry)
         return cls(space, plan_ids, costs, registry, cache)
 
@@ -148,10 +159,16 @@ class PlanDiagram:
         if seed_locations is None:
             seed_locations = coarse_subgrid(space, per_dim=4)
         candidate_ids = set()
-        for location in seed_locations:
-            assignment = space.assignment_at(location)
-            result = optimizer.optimize(space.query, assignment=assignment)
-            candidate_ids.add(result.plan_id)
+        with optimizer.tracer.span(
+            "ess.candidate_diagram", locations=space.size
+        ) as span:
+            seeds = 0
+            for location in seed_locations:
+                assignment = space.assignment_at(location)
+                result = optimizer.optimize(space.query, assignment=assignment)
+                candidate_ids.add(result.plan_id)
+                seeds += 1
+            span.set(seeds=seeds, candidates=len(candidate_ids))
         cache = PlanCostCache(space, optimizer, registry)
         ordered = sorted(candidate_ids)
         stacked = np.stack([cache.cost_array(pid) for pid in ordered])
@@ -206,6 +223,12 @@ _WORKER_STATE: dict = {}
 
 
 def _init_posp_worker(optimizer: Optimizer, space: SelectivitySpace):
+    # Workers never trace: with fork they would inherit the parent's sink
+    # (and interleave writes into its file); with spawn the tracer already
+    # degraded to the null tracer during pickling.
+    from ..obs.tracer import NULL_TRACER
+
+    optimizer.tracer = NULL_TRACER
     _WORKER_STATE["optimizer"] = optimizer
     _WORKER_STATE["space"] = space
 
@@ -222,19 +245,50 @@ def _optimize_chunk(locations: List[Location]):
 
 
 def _parallel_optimize(optimizer: Optimizer, space: SelectivitySpace, workers: int):
-    """Optimize every grid location across ``workers`` processes."""
+    """Optimize every grid location across ``workers`` processes.
+
+    ``fork`` is preferred (workers inherit the optimizer for free); where
+    it is unavailable the fallback is an *explicit* ``spawn`` context —
+    never the platform default — and the initializer arguments are
+    verified to survive a pickle round trip before any worker starts, so
+    an unpicklable optimizer fails fast in the parent with a clear error
+    instead of crashing inside the pool machinery.  Chunk results are
+    streamed with ``imap``: a worker failure surfaces its traceback at
+    the first affected chunk rather than stalling a final ``map`` barrier.
+    """
     import multiprocessing as mp
+    import pickle
 
     locations = list(space.locations())
     chunk_size = max(1, len(locations) // (workers * 4))
     chunks = [
         locations[i : i + chunk_size] for i in range(0, len(locations), chunk_size)
     ]
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp
+    if "fork" in mp.get_all_start_methods():
+        ctx = mp.get_context("fork")
+    else:
+        ctx = mp.get_context("spawn")
+        try:
+            restored = pickle.loads(pickle.dumps((optimizer, space)))
+        except Exception as exc:
+            raise EssError(
+                "parallel POSP generation needs a picklable Optimizer and "
+                f"SelectivitySpace under the spawn start method: {exc}"
+            ) from exc
+        if len(restored) != 2:
+            raise EssError("initargs pickle round trip lost arguments")
+    tracer = optimizer.tracer
+    if tracer.enabled:
+        tracer.event(
+            "ess.parallel_fanout",
+            workers=workers,
+            chunks=len(chunks),
+            locations=len(locations),
+        )
     with ctx.Pool(
         processes=workers, initializer=_init_posp_worker, initargs=(optimizer, space)
     ) as pool:
-        for chunk_result in pool.map(_optimize_chunk, chunks):
+        for chunk_result in pool.imap(_optimize_chunk, chunks):
             yield from chunk_result
 
 

@@ -83,7 +83,11 @@ def contour_focused_posp(
         # Principal-diagonal corners bound the PIC over the box (PCM).
         _, cost_lo = optimize_at(lo)
         _, cost_hi = optimize_at(hi)
-        if not any_contour_in(cost_lo, cost_hi):
+        # PCM says cost_lo <= cost_hi, but tie-breaking among equal-cost
+        # plans can invert the pair by a whisker; an inverted interval
+        # would silently prune the box and lose its contour band, so the
+        # bounds are ordered explicitly before the containment test.
+        if not any_contour_in(min(cost_lo, cost_hi), max(cost_lo, cost_hi)):
             pruned += 1
             return
         edges = [h - l for l, h in zip(lo, hi)]
@@ -103,7 +107,11 @@ def contour_focused_posp(
         lo_b[axis] = mid  # overlap at the midplane keeps the band contiguous
         recurse(tuple(lo_b), tuple(hi_b))
 
-    recurse(space.origin, space.corner)
+    with optimizer.tracer.span(
+        "ess.contour_posp", locations=space.size, contours=len(sorted_costs)
+    ) as span:
+        recurse(space.origin, space.corner)
+        span.set(optimizer_calls=calls, pruned_boxes=pruned)
     return ContourBandResult(optimized=optimized, optimizer_calls=calls, pruned_boxes=pruned)
 
 

@@ -76,6 +76,13 @@ def anorexic_reduce(
         coverage[plan_id] = costs <= threshold * optimal + 1e-12
         cost_rows[plan_id] = costs
 
+    tracer = cache.optimizer.tracer
+    span = tracer.span(
+        "ess.reduce",
+        lambda_=lambda_,
+        locations=len(location_list),
+        candidates=len(candidate_ids),
+    )
     uncovered = np.ones(len(location_list), dtype=bool)
     assignment: Dict[Location, int] = {}
     chosen: List[int] = []
@@ -106,11 +113,16 @@ def anorexic_reduce(
             continue
         chosen.append(best_plan)
         newly = coverage[best_plan] & uncovered
+        if tracer.enabled:
+            tracer.event("ess.swallow", plan=best_plan, swallowed=int(newly.sum()))
         for idx in np.nonzero(newly)[0]:
             assignment[location_list[int(idx)]] = best_plan
         uncovered &= ~newly
+    surviving = sorted(set(assignment.values()))
+    span.set(surviving=len(surviving), passes=len(chosen))
+    span.end()
     return ReducedAssignment(
-        assignment=assignment, plan_ids=sorted(set(assignment.values())), lambda_=lambda_
+        assignment=assignment, plan_ids=surviving, lambda_=lambda_
     )
 
 

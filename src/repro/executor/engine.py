@@ -24,6 +24,7 @@ import numpy as np
 from ..catalog.schema import IndexInfo
 from ..datagen.database import Database
 from ..exceptions import BudgetExceeded, ExecutionError
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..optimizer.cost_model import POSTGRES_COST_MODEL, CostModel
 from ..optimizer.plans import (
     Aggregate,
@@ -92,6 +93,7 @@ class ExecutionEngine:
         cost_model: CostModel = POSTGRES_COST_MODEL,
         batch_size: int = 4096,
         perturbation: Optional[CostPerturbation] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.database = database
         self.schema = database.schema
@@ -100,7 +102,28 @@ class ExecutionEngine:
         if self.batch_size < 1:
             raise ExecutionError("batch_size must be positive")
         self.perturbation = perturbation
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._sorted_columns: Dict[Tuple[str, str], Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _trace_run(self, spilled: bool, result: "ExecutionResult") -> None:
+        """One event per engine execution — never per batch, so the hot
+        operator loops stay tracer-free."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        tracer.event(
+            "engine.execute",
+            spilled=spilled,
+            completed=result.completed,
+            rows=result.rows,
+            spent=result.spent,
+            budget=result.instrumentation.budget,
+            tuples_moved=result.instrumentation.total_tuples,
+        )
+        tracer.count("engine.executions")
+        tracer.count("engine.tuples_moved", result.instrumentation.total_tuples)
+        if not result.completed:
+            tracer.count("engine.budget_exhaustions")
 
     # ------------------------------------------------------------------
     # Public API
@@ -124,17 +147,21 @@ class ExecutionEngine:
                 if collect:
                     collected.append(batch)
         except BudgetExceeded:
-            return ExecutionResult(
+            outcome = ExecutionResult(
                 completed=False, rows=rows, spent=inst.total_cost, instrumentation=inst
             )
+            self._trace_run(False, outcome)
+            return outcome
         result = concat(collected) if collect and collected else None
-        return ExecutionResult(
+        outcome = ExecutionResult(
             completed=True,
             rows=rows,
             spent=inst.total_cost,
             instrumentation=inst,
             result=result,
         )
+        self._trace_run(False, outcome)
+        return outcome
 
     def execute_spilled(
         self,
@@ -156,18 +183,16 @@ class ExecutionEngine:
             for batch in self._run(target, query, inst):
                 rows += batch_length(batch)
         except BudgetExceeded:
-            return (
-                ExecutionResult(
-                    completed=False, rows=rows, spent=inst.total_cost, instrumentation=inst
-                ),
-                node,
+            outcome = ExecutionResult(
+                completed=False, rows=rows, spent=inst.total_cost, instrumentation=inst
             )
-        return (
-            ExecutionResult(
-                completed=True, rows=rows, spent=inst.total_cost, instrumentation=inst
-            ),
-            node,
+            self._trace_run(True, outcome)
+            return outcome, node
+        outcome = ExecutionResult(
+            completed=True, rows=rows, spent=inst.total_cost, instrumentation=inst
         )
+        self._trace_run(True, outcome)
+        return outcome, node
 
     # ------------------------------------------------------------------
     # Cost charging

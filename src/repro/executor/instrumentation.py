@@ -76,6 +76,11 @@ class Instrumentation:
     def tuples_out(self, node: PlanNode) -> int:
         return self.counters(node).tuples_out
 
+    @property
+    def total_tuples(self) -> int:
+        """Tuples moved across all plan nodes (telemetry account)."""
+        return sum(c.tuples_out for c in self._counters.values())
+
     def finished(self, node: PlanNode) -> bool:
         key = id(node)
         return key in self._counters and self._counters[key].finished

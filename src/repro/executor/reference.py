@@ -13,11 +13,10 @@ performance path.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..datagen.database import Database
 from ..exceptions import ExecutionError
-from ..query.predicates import SelectionPredicate
 from ..query.query import Query
 
 

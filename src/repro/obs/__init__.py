@@ -1,0 +1,35 @@
+"""Observability: tracing, metrics, and trace summarization.
+
+Dependency-free telemetry for the bouquet pipeline — see
+:mod:`repro.obs.tracer` for the instrumentation primitives and
+:mod:`repro.obs.summary` for the ``repro trace`` summarizer.
+"""
+
+from .summary import ContourAccount, TraceSummary, read_trace, summarize_trace
+from .tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    NullTracer,
+    Sink,
+    Span,
+    TimingStats,
+    Tracer,
+)
+
+__all__ = [
+    "ContourAccount",
+    "TraceSummary",
+    "read_trace",
+    "summarize_trace",
+    "NULL_TRACER",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "NullTracer",
+    "Sink",
+    "Span",
+    "TimingStats",
+    "Tracer",
+]

@@ -1,0 +1,212 @@
+"""Trace summarization: turn a record stream into a per-contour account.
+
+Consumes the records produced by :mod:`repro.obs.tracer` (from a JSONL
+file or a :class:`~repro.obs.tracer.MemorySink`) and condenses them into
+the paper's Table 3 vocabulary: per isocost contour, how many plans were
+executed (spilled vs full), under what budget, what they spent, and what
+was learned — plus the compile-side account (optimizer calls, pruning,
+reduction) and the metric aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["ContourAccount", "TraceSummary", "read_trace", "summarize_trace"]
+
+
+@dataclass
+class ContourAccount:
+    """Execution account for one isocost contour (one Table 3 row)."""
+
+    contour: int
+    budget: float = 0.0
+    executions: int = 0
+    spilled: int = 0
+    cost_spent: float = 0.0
+    completed: bool = False
+    final_plan_id: Optional[int] = None
+    learned_pids: List[str] = field(default_factory=list)
+
+    @property
+    def full(self) -> int:
+        return self.executions - self.spilled
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace`` reports about one trace."""
+
+    contours: List[ContourAccount]
+    total_cost: float
+    execution_count: int
+    completed: bool
+    final_plan_id: Optional[int]
+    counters: Dict[str, float]
+    timings: Dict[str, Dict[str, float]]
+    spans: List[Dict[str, Any]]
+
+    def describe(self) -> str:
+        from ..bench.reporting import format_table
+
+        lines: List[str] = []
+        if self.contours:
+            rows = []
+            for acct in self.contours:
+                rows.append(
+                    [
+                        f"IC{acct.contour}",
+                        acct.budget,
+                        acct.executions,
+                        acct.spilled,
+                        acct.full,
+                        acct.cost_spent,
+                        ",".join(acct.learned_pids) or "-",
+                        (
+                            f"completed (P{acct.final_plan_id})"
+                            if acct.completed
+                            else "crossed"
+                        ),
+                    ]
+                )
+            lines.append(
+                format_table(
+                    [
+                        "contour",
+                        "budget",
+                        "execs",
+                        "spilled",
+                        "full",
+                        "cost spent",
+                        "learned",
+                        "outcome",
+                    ],
+                    rows,
+                    title="per-contour execution account",
+                )
+            )
+            status = (
+                f"completed with P{self.final_plan_id}"
+                if self.completed
+                else "did not complete"
+            )
+            lines.append(
+                f"total: {self.execution_count} executions, "
+                f"cost {self.total_cost:.4g} — {status}"
+            )
+        else:
+            lines.append("no bouquet executions in trace")
+        top = [s for s in self.spans if s.get("parent", 0) == 0]
+        if top:
+            rows = [
+                [s["name"], f"{s.get('dur', 0.0):.4f}s", _attr_blurb(s.get("attrs", {}))]
+                for s in top
+            ]
+            lines.append("")
+            lines.append(format_table(["span", "wall", "attrs"], rows, title="root spans"))
+        if self.counters:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["counter", "value"],
+                    sorted(self.counters.items()),
+                    title="counters",
+                )
+            )
+        if self.timings:
+            rows = [
+                [name, t["count"], t["total"], t["mean"], t["max"]]
+                for name, t in sorted(self.timings.items())
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["timing", "count", "total s", "mean s", "max s"],
+                    rows,
+                    title="timings",
+                )
+            )
+        return "\n".join(lines)
+
+
+def _attr_blurb(attrs: Dict[str, Any], limit: int = 4) -> str:
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+        if len(parts) >= limit:
+            break
+    return " ".join(parts)
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file written by a :class:`JsonlSink`."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_trace(records: Iterable[Dict[str, Any]]) -> TraceSummary:
+    """Condense a record stream into a :class:`TraceSummary`.
+
+    The per-contour account is rebuilt purely from ``runtime.execution``
+    events, so it reproduces the run's
+    :class:`~repro.core.runtime.BouquetRunResult` figures exactly.
+    """
+    accounts: Dict[int, ContourAccount] = {}
+    total_cost = 0.0
+    execution_count = 0
+    completed = False
+    final_plan_id: Optional[int] = None
+    counters: Dict[str, float] = {}
+    timings: Dict[str, Dict[str, float]] = {}
+    spans: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("type")
+        if kind == "event" and record.get("name") == "runtime.execution":
+            attrs = record["attrs"]
+            contour = int(attrs["contour"])
+            acct = accounts.get(contour)
+            if acct is None:
+                acct = accounts[contour] = ContourAccount(contour=contour)
+            acct.budget = float(attrs["budget"])
+            acct.executions += 1
+            execution_count += 1
+            if attrs.get("spilled"):
+                acct.spilled += 1
+            acct.cost_spent += float(attrs["cost_spent"])
+            total_cost += float(attrs["cost_spent"])
+            for pid in attrs.get("learned", ()):
+                if pid not in acct.learned_pids:
+                    acct.learned_pids.append(pid)
+            if attrs.get("completed") and not attrs.get("spilled"):
+                acct.completed = True
+                acct.final_plan_id = int(attrs["plan"])
+                completed = True
+                final_plan_id = int(attrs["plan"])
+        elif kind == "span_end":
+            spans.append(record)
+        elif kind == "counter":
+            counters[record["name"]] = record["value"]
+        elif kind == "timing":
+            timings[record["name"]] = {
+                key: record[key] for key in ("count", "total", "min", "max", "mean")
+            }
+    return TraceSummary(
+        contours=[accounts[c] for c in sorted(accounts)],
+        total_cost=total_cost,
+        execution_count=execution_count,
+        completed=completed,
+        final_plan_id=final_plan_id,
+        counters=counters,
+        timings=timings,
+        spans=spans,
+    )

@@ -9,12 +9,14 @@ paper's POSP figures.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..catalog.schema import Schema
 from ..catalog.statistics import DatabaseStatistics
 from ..exceptions import OptimizerError
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..query.query import Query
 from .cost_model import POSTGRES_COST_MODEL, CostModel
 from .joinorder import JoinEnumerator
@@ -84,6 +86,10 @@ class Optimizer:
         selectivities.  May be ``None``, in which case magic numbers apply.
     cost_model:
         Cost constants; swap in ``COMMERCIAL_COST_MODEL`` for the COM engine.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; every ``optimize``
+        call is counted and timed, enumerator/registry cache behaviour is
+        counted.  Defaults to the zero-overhead null tracer.
     """
 
     def __init__(
@@ -91,12 +97,26 @@ class Optimizer:
         schema: Schema,
         statistics: Optional[DatabaseStatistics] = None,
         cost_model: CostModel = POSTGRES_COST_MODEL,
+        tracer: Optional[Tracer] = None,
     ):
         self.schema = schema
         self.statistics = statistics
         self.cost_model = cost_model
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._enumerators: Dict[str, JoinEnumerator] = {}
         self._registries: Dict[str, PlanRegistry] = {}
+
+    def __getstate__(self):
+        # Tracers hold sinks (possibly open files); they degrade to the
+        # null tracer across process boundaries (parallel POSP workers).
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -115,6 +135,10 @@ class Optimizer:
         if enum is None:
             enum = JoinEnumerator(query, self.schema)
             self._enumerators[key] = enum
+            if self.tracer.enabled:
+                self.tracer.count("optimizer.enumerator_builds")
+        elif self.tracer.enabled:
+            self.tracer.count("optimizer.enumerator_cache_hits")
         return enum
 
     # ------------------------------------------------------------------
@@ -135,6 +159,8 @@ class Optimizer:
         estimated selectivities are used.  ``injected`` overrides specific
         pids on top of that base (the injection API of §4.2).
         """
+        tracer = self.tracer
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         if assignment is None:
             assignment = self.estimated_assignment(query)
         if injected:
@@ -151,6 +177,9 @@ class Optimizer:
             est = cost_plan(plan, self.schema, self.cost_model, assignment)
             cost, rows = est.cost, est.rows
         plan_id, signature = self.registry(query).register(plan)
+        if tracer.enabled:
+            tracer.count("optimizer.calls")
+            tracer.observe("optimizer.latency", time.perf_counter() - t0)
         return OptimizedPlan(
             plan=plan, cost=cost, rows=rows, plan_id=plan_id, signature=signature
         )

@@ -13,7 +13,6 @@ nested loops, hash, sort-merge, index nested loops).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 

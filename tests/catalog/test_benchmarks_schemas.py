@@ -1,7 +1,5 @@
 """Tests for the TPC-H / TPC-DS schema definitions."""
 
-import pytest
-
 from repro.catalog import (
     tpcds_generator_spec,
     tpcds_row_counts,

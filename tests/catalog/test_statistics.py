@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.catalog.statistics import (
-    MAGIC_EQUALITY_SELECTIVITY,
     ColumnStatistics,
     DatabaseStatistics,
     TableStatistics,

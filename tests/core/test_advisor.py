@@ -1,10 +1,7 @@
 """Tests for the §8 deployment advisor."""
 
-import pytest
-
 from repro.core.advisor import (
     ProcessingMode,
-    Recommendation,
     recommend_processing_mode,
 )
 from repro.ess.dimensioning import WorkloadErrorLog

@@ -1,6 +1,5 @@
 """Tests for the ESS-wide simulation fields."""
 
-import numpy as np
 import pytest
 
 from repro.core import basic_cost_field, optimized_cost_field, simulate_at

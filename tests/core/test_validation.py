@@ -1,8 +1,6 @@
 """Tests for bouquet validation."""
 
-import pytest
-
-from repro.core.validation import ValidationIssue, validate_bouquet
+from repro.core.validation import validate_bouquet
 
 
 class TestValidateBouquet:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.catalog import tpch_generator_spec, tpch_schema
+from repro.catalog import tpch_generator_spec
 from repro.datagen import Database
 from repro.exceptions import CatalogError
 

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ess import PlanDiagram, SelectivitySpace, coarse_subgrid
-from repro.ess.diagram import PlanCostCache
+from repro.ess import PlanDiagram, coarse_subgrid
 
 
 class TestExhaustiveDiagram:
@@ -34,6 +33,29 @@ class TestExhaustiveDiagram:
             own = eq_diagram.plan_at(loc)
             best = min(arrays[p][loc] for p in posp)
             assert arrays[own][loc] == pytest.approx(best, rel=1e-9)
+
+
+def _exploding_chunk(locations):
+    raise RuntimeError("worker crashed")
+
+
+class TestParallelExhaustive:
+    def test_parallel_matches_serial(self, optimizer, eq_space, eq_diagram):
+        """§4.2: POSP generation across workers is result-identical —
+        the exact same ``plan_ids`` and ``costs`` arrays come back."""
+        parallel = PlanDiagram.exhaustive(optimizer, eq_space, workers=2)
+        assert np.array_equal(parallel.plan_ids, eq_diagram.plan_ids)
+        assert np.allclose(parallel.costs, eq_diagram.costs)
+        assert parallel.posp_plan_ids == eq_diagram.posp_plan_ids
+
+    def test_worker_failure_surfaces(self, optimizer, eq_space, monkeypatch):
+        """A worker exception propagates through ``imap`` instead of
+        stalling the result merge."""
+        from repro.ess import diagram as diagram_module
+
+        monkeypatch.setattr(diagram_module, "_optimize_chunk", _exploding_chunk)
+        with pytest.raises(Exception):
+            PlanDiagram.exhaustive(optimizer, eq_space, workers=2)
 
 
 class TestCostCache:

@@ -12,7 +12,7 @@ from repro.ess.dimensioning import (
 )
 from repro.ess.space import ErrorDimension
 from repro.exceptions import EssError
-from repro.query import JoinPredicate, Query, SelectionPredicate
+from repro.query import JoinPredicate, Query
 
 
 class TestClassification:

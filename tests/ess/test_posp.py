@@ -39,6 +39,64 @@ class TestContourFocusedPosp:
             contour_focused_posp(optimizer, eq_space, [])
 
 
+class _TinySpace:
+    """Minimal 1-D stand-in for SelectivitySpace: 9 grid points whose
+    ``assignment_at`` is the location itself, so a fake optimizer can key
+    costs directly off it."""
+
+    size = 9
+    origin = (0,)
+    corner = (8,)
+    query = None
+
+    def assignment_at(self, location):
+        return location
+
+
+class _TieBreakOptimizer:
+    """PCM holds (costs are non-decreasing up to float noise), but the
+    low corner lands on a plan a whisker *above* the high corner — the
+    inverted interval that used to prune the whole box."""
+
+    def __init__(self):
+        from repro.obs import NULL_TRACER
+
+        self.tracer = NULL_TRACER
+        self.calls = []
+
+    def optimize(self, query, assignment=None):
+        from types import SimpleNamespace
+
+        self.calls.append(assignment)
+        cost = 100.0 + 1e-6 if assignment == (0,) else 100.0
+        return SimpleNamespace(plan_id=1, cost=cost, plan=None)
+
+
+class TestInvertedCornerRegression:
+    def test_inverted_corner_interval_is_not_pruned(self):
+        """A contour between the (inverted) corner costs must survive:
+        ordering the pair with min/max keeps the containment test sound
+        when tie-breaking flips cost_lo above cost_hi."""
+        optimizer = _TieBreakOptimizer()
+        band = contour_focused_posp(
+            optimizer, _TinySpace(), [100.0 + 5e-7]
+        )
+        # The contour band around location 0 is explored, not swallowed.
+        assert (1,) in band.optimized
+        assert {(0,), (1,), (2,)} <= set(band.optimized)
+        # The flat half of the space away from the contour is still pruned.
+        assert band.pruned_boxes == 2
+
+    def test_flat_space_prunes_everything_but_corners(self):
+        """Control: with no contour inside the corner interval the root
+        box is pruned after costing just the two diagonal corners."""
+        optimizer = _TieBreakOptimizer()
+        band = contour_focused_posp(optimizer, _TinySpace(), [250.0])
+        assert set(band.optimized) == {(0,), (8,)}
+        assert band.optimizer_calls == 2
+        assert band.pruned_boxes == 1
+
+
 class TestDiagramFromBand:
     def test_densified_diagram_close_to_exhaustive(
         self, optimizer, eq_space, band, eq_diagram

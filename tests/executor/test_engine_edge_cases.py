@@ -1,6 +1,5 @@
 """Edge-case tests for the execution engine."""
 
-import numpy as np
 import pytest
 
 from repro.executor import ExecutionEngine

@@ -1,7 +1,5 @@
 """Tests for the independent reference evaluator."""
 
-import pytest
-
 from repro.executor import ExecutionEngine
 from repro.executor.reference import (
     reference_group_counts,
@@ -14,7 +12,6 @@ from repro.query import parse_query
 class TestReferenceEvaluator:
     def test_single_table_filter(self, database, schema):
         query = parse_query("select * from part where p_size < 10", schema)
-        import numpy as np
 
         expected = int((database.column("part", "p_size") < 10).sum())
         assert reference_row_count(database, query) == expected

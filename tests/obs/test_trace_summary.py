@@ -1,0 +1,101 @@
+"""Integration: a traced session run summarizes back to its run result."""
+
+import pytest
+
+from repro.core.session import BouquetSession
+from repro.obs import JsonlSink, MemorySink, Tracer, read_trace, summarize_trace
+
+EQ_SQL = (
+    "select * from lineitem, orders, part "
+    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+    "and p_retailprice < 1000"
+)
+
+
+@pytest.fixture(scope="module")
+def traced_run(schema, database, statistics, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("obs") / "trace.jsonl")
+    tracer = Tracer(JsonlSink(path))
+    session = BouquetSession(
+        schema, statistics=statistics, database=database, tracer=tracer
+    )
+    compiled = session.compile(EQ_SQL, resolution=24)
+    result = compiled.execute()
+    tracer.close()
+    return path, compiled, result
+
+
+class TestTracedSession:
+    def test_summary_matches_run_result(self, traced_run):
+        path, _, result = traced_run
+        summary = summarize_trace(read_trace(path))
+        assert summary.execution_count == result.execution_count
+        assert summary.total_cost == pytest.approx(result.total_cost)
+        assert summary.completed == result.completed
+        assert summary.final_plan_id == result.final_plan_id
+        per_contour = {a.contour: a.executions for a in summary.contours}
+        assert per_contour == result.executions_per_contour()
+
+    def test_budgets_and_spills_match(self, traced_run):
+        path, compiled, result = traced_run
+        summary = summarize_trace(read_trace(path))
+        budgets = dict(
+            zip((c.index for c in compiled.bouquet.contours), compiled.bouquet.budgets)
+        )
+        spilled = {}
+        for record in result.executions:
+            spilled[record.contour_index] = (
+                spilled.get(record.contour_index, 0) + int(record.spilled)
+            )
+        for acct in summary.contours:
+            assert acct.budget == pytest.approx(budgets[acct.contour])
+            assert acct.spilled == spilled[acct.contour]
+
+    def test_compile_and_execute_span_roots(self, traced_run):
+        path, _, _ = traced_run
+        summary = summarize_trace(read_trace(path))
+        roots = [s["name"] for s in summary.spans if s["parent"] == 0]
+        assert "session.compile" in roots and "session.execute" in roots
+        compile_span = next(
+            s for s in summary.spans if s["name"] == "session.compile"
+        )
+        assert compile_span["attrs"]["grid"] == 24
+        assert compile_span["attrs"]["cardinality"] >= 1
+
+    def test_optimizer_account_present(self, traced_run):
+        path, _, _ = traced_run
+        summary = summarize_trace(read_trace(path))
+        assert summary.counters["optimizer.calls"] >= 24
+        assert summary.timings["optimizer.latency"]["count"] >= 24
+
+    def test_describe_renders_account(self, traced_run):
+        path, _, _ = traced_run
+        text = summarize_trace(read_trace(path)).describe()
+        assert "per-contour execution account" in text
+        assert "optimizer.calls" in text
+
+    def test_simulate_is_traced(self, schema, database, statistics):
+        tracer = Tracer(MemorySink())
+        session = BouquetSession(
+            schema, statistics=statistics, database=database, tracer=tracer
+        )
+        compiled = session.compile(EQ_SQL, resolution=24)
+        result = compiled.simulate([0.4])
+        events = tracer.sink.events("runtime.execution")
+        assert len(events) == result.execution_count
+        assert tracer.sink.spans("session.simulate")
+
+    def test_untraced_session_stays_silent(self, schema, database, statistics):
+        session = BouquetSession(schema, statistics=statistics, database=database)
+        compiled = session.compile(EQ_SQL, resolution=24)
+        compiled.simulate([0.4])
+        assert not session.tracer.enabled
+        assert session.optimizer.tracer.counters == {}
+
+
+class TestLabTracing:
+    def test_lab_trace_summary(self, lab):
+        lab.build("EQ")
+        text = lab.trace_summary()
+        assert "optimizer.calls" in text
+        assert "lab.build" in text or "root spans" in text

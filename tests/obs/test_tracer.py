@@ -1,0 +1,169 @@
+"""Unit tests for the tracing + metrics subsystem."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    NullTracer,
+    Tracer,
+    read_trace,
+    summarize_trace,
+)
+from repro.obs.tracer import TimingStats
+
+
+class TestSpans:
+    def test_span_nesting_parent_links(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id == inner.span_id
+            assert tracer.current_span_id == outer.span_id
+        assert tracer.current_span_id == 0
+        ends = {r["name"]: r for r in sink.spans()}
+        assert ends["inner"]["parent"] == ends["outer"]["span"]
+        assert ends["outer"]["parent"] == 0
+
+    def test_span_attrs_and_duration(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("work", phase="compile") as span:
+            span.set(items=3)
+        record = sink.spans("work")[0]
+        assert record["attrs"] == {"phase": "compile", "items": 3}
+        assert record["dur"] >= 0
+
+    def test_span_records_error_kind(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert sink.spans("doomed")[0]["attrs"]["error"] == "ValueError"
+        assert tracer.current_span_id == 0
+
+    def test_events_attach_to_current_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("run") as span:
+            tracer.event("step", k=1)
+        assert sink.events("step")[0]["span"] == span.span_id
+        assert sink.events("step")[0]["attrs"] == {"k": 1}
+
+    def test_explicit_end(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        span = tracer.span("manual")
+        span.set(done=True)
+        span.end()
+        assert sink.spans("manual")[0]["attrs"] == {"done": True}
+        assert tracer.current_span_id == 0
+
+
+class TestMetrics:
+    def test_counter_aggregation(self):
+        tracer = Tracer(MemorySink())
+        tracer.count("calls")
+        tracer.count("calls", 2)
+        tracer.count("tuples", 100)
+        assert tracer.counters == {"calls": 3, "tuples": 100}
+
+    def test_timing_histogram(self):
+        tracer = Tracer(MemorySink())
+        for value in (0.5, 1.5, 1.0):
+            tracer.observe("lat", value)
+        stats = tracer.timings["lat"]
+        assert stats.count == 3
+        assert stats.total == pytest.approx(3.0)
+        assert stats.min == 0.5 and stats.max == 1.5
+        assert stats.mean == pytest.approx(1.0)
+
+    def test_empty_timing_stats(self):
+        stats = TimingStats()
+        assert stats.mean == 0.0
+        assert stats.as_dict()["min"] == 0.0
+
+    def test_flush_metrics_emits_records(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.count("n", 4)
+        tracer.observe("t", 0.25)
+        tracer.flush_metrics()
+        kinds = {(r["type"], r["name"]) for r in sink.records}
+        assert ("counter", "n") in kinds and ("timing", "t") in kinds
+
+    def test_snapshot(self):
+        tracer = Tracer(MemorySink())
+        tracer.count("a")
+        tracer.observe("b", 2.0)
+        snap = tracer.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["timings"]["b"]["count"] == 1
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("root", grid=64):
+            tracer.event("runtime.execution", contour=1, plan=2, spilled=False,
+                         budget=10.0, cost_spent=4.0, completed=True, learned=[])
+        tracer.count("optimizer.calls", 7)
+        tracer.close()
+        records = read_trace(path)
+        types = [r["type"] for r in records]
+        assert types == ["span_start", "event", "span_end", "counter"]
+        summary = summarize_trace(records)
+        assert summary.execution_count == 1
+        assert summary.completed and summary.final_plan_id == 2
+        assert summary.counters["optimizer.calls"] == 7
+
+    def test_non_json_values_degrade(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(JsonlSink(path))
+        tracer.event("odd", value=np.float64(1.5), arr=np.int64(3))
+        tracer.close()
+        record = read_trace(path)[0]
+        assert record["attrs"]["value"] == 1.5
+        assert record["attrs"]["arr"] == 3
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(JsonlSink(path))
+        tracer.close()
+        tracer.sink.close()
+        assert json.loads(open(path).read() or "{}") == {}
+
+
+class TestNullTracer:
+    def test_null_sink_is_noop(self):
+        NullSink().emit({"type": "event"})  # must not raise or store
+
+    def test_null_tracer_noops(self):
+        tracer = NullTracer()
+        with tracer.span("x", a=1) as span:
+            span.set(b=2)
+            tracer.event("e")
+            tracer.count("c")
+            tracer.observe("t", 1.0)
+        assert tracer.counters == {} and tracer.timings == {}
+        assert not tracer.enabled
+
+    def test_singleton_shared_span(self):
+        a = NULL_TRACER.span("one")
+        b = NULL_TRACER.span("two")
+        assert a is b  # the shared no-op span
+
+    def test_tracer_pickles_to_null(self, tmp_path):
+        tracer = Tracer(JsonlSink(str(tmp_path / "p.jsonl")))
+        restored = pickle.loads(pickle.dumps(tracer))
+        assert restored is NULL_TRACER

@@ -7,7 +7,6 @@ import pytest
 from repro.exceptions import OptimizerError
 from repro.optimizer import (
     IndexLookup,
-    IndexScan,
     Join,
     SeqScan,
     cost_plan,

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import OptimizerError
 from repro.optimizer import (
     COMMERCIAL_COST_MODEL,
     Optimizer,
     cost_plan,
 )
-from repro.optimizer.joinorder import JoinEnumerator, access_paths
+from repro.optimizer.joinorder import access_paths
 from repro.query import JoinPredicate, Query, SelectionPredicate
 
 
@@ -27,7 +26,7 @@ class TestAccessPaths:
 class TestEnumeration:
     def test_optimal_beats_every_candidate(self, optimizer, eq_query, statistics):
         """DP optimality: sanity-check against a few handmade plans."""
-        from repro.optimizer import IndexScan, Join, SeqScan
+        from repro.optimizer import Join, SeqScan
 
         a = optimizer.estimated_assignment(eq_query)
         best = optimizer.optimize(eq_query, assignment=a)

@@ -8,7 +8,7 @@ from repro.executor.reference import reference_row_count
 from repro.exceptions import QueryError
 from repro.optimizer import Optimizer, SeqScan, actual_selectivities
 from repro.optimizer.selectivity import estimate_selection
-from repro.query import SelectionPredicate, parse_query
+from repro.query import SelectionPredicate
 from repro.query.sql import parse_query as parse
 
 

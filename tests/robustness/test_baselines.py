@@ -1,6 +1,5 @@
 """Tests for the NAT and SEER baseline strategies."""
 
-import numpy as np
 import pytest
 
 from repro.robustness import NativeOptimizerStrategy, SeerStrategy

@@ -2,8 +2,6 @@
 
 import os
 
-import pytest
-
 from repro.cli import main
 
 ENV = ["--benchmark", "tpch", "--scale", "0.002", "--seed", "7", "--stats-sample", "800"]
@@ -82,6 +80,29 @@ class TestRunCommand:
         main(["run"] + ENV + [EQ_SQL, "--resolution", "24"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestTraceCommand:
+    def test_run_writes_trace_and_summarizes(self, capsys, tmp_path):
+        path = os.path.join(tmp_path, "trace.jsonl")
+        code = main(
+            ["run"] + ENV + [EQ_SQL, "--resolution", "24", "--trace", path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+        assert os.path.exists(path)
+        code = main(["trace", path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-contour execution account" in out
+        assert "optimizer.calls" in out
+        assert "IC" in out
+
+    def test_missing_trace_file_fails_gracefully(self, capsys, tmp_path):
+        code = main(["trace", os.path.join(tmp_path, "nope.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestAdviseCommand:

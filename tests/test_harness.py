@@ -1,7 +1,5 @@
 """Tests for the shared Lab harness."""
 
-import pytest
-
 from repro.bench.harness import DEFAULT_RESOLUTIONS, Lab, shared_lab
 
 

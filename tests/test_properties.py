@@ -1,8 +1,6 @@
 """Cross-cutting property-based tests (hypothesis) for the core
 invariants the bouquet guarantees rest on."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

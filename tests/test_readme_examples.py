@@ -1,7 +1,5 @@
 """Guard that the README / package-docstring code snippets actually run."""
 
-import pytest
-
 
 class TestReadmeSnippets:
     def test_quickstart_snippet(self):

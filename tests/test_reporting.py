@@ -1,7 +1,5 @@
 """Tests for the benchmark reporting helpers."""
 
-import pytest
-
 from repro.bench.reporting import format_series, format_table, log_bar
 
 

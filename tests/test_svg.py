@@ -1,7 +1,6 @@
 """Tests for the SVG plotting backend."""
 
 import numpy as np
-import pytest
 
 from repro.bench.svg import SvgCanvas, diagram_map, grouped_log_bars, loglog_chart
 
