@@ -5,6 +5,9 @@
 #   make test         run the unit/integration/property test suite
 #   make lint         ruff check (imports + obvious-bug rules; config in
 #                     pyproject.toml) — skips with a hint if ruff is absent
+#   make serve-smoke  compile-cache the canned workload twice; fail unless
+#                     the warm pass is all cache hits and >= 5x faster
+#   make check        lint + serve-smoke (the gated fast checks)
 #   make bench        regenerate every paper table/figure
 #   make experiments  bench + rebuild EXPERIMENTS.md
 #   make examples     run the example scripts end to end
@@ -13,7 +16,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -28,6 +31,11 @@ lint:
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
 		&& $(PYTHON) -m ruff check src tests benchmarks examples \
 		|| echo "ruff not installed; skipping (pip install ruff to enable)"
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve-smoke
+
+check: lint serve-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

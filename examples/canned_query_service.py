@@ -1,16 +1,20 @@
-"""Canned-query service: compile once offline, execute forever.
+"""Canned-query service: compile once offline, serve forever.
 
 The paper recommends bouquets for form-based ("canned") query interfaces
 where the expensive compile-time phase is precomputed offline (§4.2).
-This example plays both roles with the high-level session API:
+This example plays both roles with the serving layer:
 
-* **offline**: parse the SQL, identify the error-prone dimensions with
-  the §4.1 uncertainty rules, compile the bouquet, and persist it to a
-  JSON artifact;
-* **online**: load the artifact into a fresh session and serve repeated
-  executions — including after a (simulated) database refresh, where the
-  incremental maintenance of §8 refreshes the bouquet at a fraction of
-  the optimizer calls a rebuild would need.
+* **offline**: ``compile_bouquet`` with a disk-backed
+  :class:`~repro.serve.BouquetArtifactStore` — the compiled artifact is
+  persisted under its content-hash key (canonical query + statistics
+  fingerprint + compile knobs);
+* **online**: a :class:`~repro.serve.BouquetServer` over the same store
+  answers repeated requests from cache (zero optimizer calls), then a
+  (simulated) statistics refresh invalidates the artifact and the next
+  request recompiles against the new world view;
+* **scale-up**: the §8 incremental maintenance path refreshes the
+  bouquet at a fraction of the optimizer calls a rebuild would need,
+  dropping stale cache entries along the way.
 
 Run:  python examples/canned_query_service.py
 """
@@ -19,11 +23,16 @@ import os
 import tempfile
 
 from repro import (
-    BouquetSession,
-    CompiledQuery,
+    BouquetArtifactStore,
+    BouquetConfig,
+    BouquetServer,
+    Catalog,
     Database,
+    MemorySink,
     Optimizer,
+    Tracer,
     actual_selectivities,
+    compile_bouquet,
     parse_query,
     refresh_bouquet,
     tpch_schema,
@@ -43,10 +52,14 @@ def main():
     schema = tpch_schema(scale)
     database = Database.generate(schema, tpch_generator_spec(scale), seed=33)
     statistics = database.build_statistics(sample_size=1500)
+    catalog = Catalog(schema, statistics=statistics, database=database)
+    config = BouquetConfig()
+    tracer = Tracer(MemorySink())
+    store_dir = tempfile.mkdtemp(prefix="bouquet-store-")
+    store = BouquetArtifactStore(root=store_dir, tracer=tracer)
 
-    # ---- offline: compile and persist -----------------------------------
-    offline = BouquetSession(schema, statistics=statistics, database=database)
-    compiled = offline.compile(SQL)
+    # ---- offline: compile into the content-addressed store ---------------
+    compiled = compile_bouquet(SQL, catalog, config=config, cache=store)
     print("compiled bouquet:")
     print(f"  dims: {[d.name for d in compiled.space.dimensions]}")
     print(
@@ -54,27 +67,48 @@ def main():
         f"contours={len(compiled.bouquet.contours)} "
         f"guaranteed MSO <= {compiled.mso_bound:.1f}"
     )
-    artifact = os.path.join(tempfile.gettempdir(), "canned_bouquet.json")
-    compiled.save(artifact)
-    print(f"  saved to {artifact}")
+    print(f"  stored under {store_dir} ({store.snapshot()['disk_entries']} artifact)")
     print()
 
-    # ---- online: load into a fresh session and serve --------------------
-    online = BouquetSession(schema, statistics=statistics, database=database)
-    served = CompiledQuery.load(artifact, online, parse_query(SQL, schema))
-    for invocation in range(3):
-        result = served.execute()
-        trace = ", ".join(
-            f"IC{e.contour_index}:P{e.plan_id}" for e in result.executions
-        )
+    # ---- online: a server over the same store serves from cache ----------
+    with BouquetServer(
+        catalog, config=config, store=store, tracer=tracer
+    ) as server:
+        for invocation in range(3):
+            served = server.serve(SQL)
+            trace = ", ".join(
+                f"IC{e.contour_index}:P{e.plan_id}"
+                for e in served.result.executions
+            )
+            print(
+                f"invocation {invocation + 1}: {served.rows} rows, "
+                f"cost {served.total_cost:.0f}, cache={served.cache}, "
+                f"trace [{trace}]"
+            )
+        print("(identical traces: the bouquet strategy is repeatable, §1)")
+        print()
+
+        # ---- statistics refresh: the cached artifact is invalidated -------
+        new_stats = database.build_statistics(sample_size=3000)
+        dropped = server.refresh_statistics(new_stats)
         print(
-            f"invocation {invocation + 1}: {result.result_rows} rows, "
-            f"cost {result.total_cost:.0f}, trace [{trace}]"
+            f"statistics refreshed: {dropped} cached artifact(s) invalidated; "
+            "next request recompiles against the new world view"
         )
-    print("(identical traces: the bouquet strategy is repeatable, §1)")
-    print()
+        served = server.serve(SQL)
+        print(
+            f"post-refresh request: cache={served.cache}, status={served.status}"
+        )
+        counters = server.stats()["counters"]
+        print(
+            "serving counters: "
+            f"hits={counters.get('serve.cache.hit_memory', 0):g} "
+            f"misses={counters.get('serve.cache.miss', 0):g} "
+            f"invalidated={counters.get('serve.cache.invalidated', 0):g}"
+        )
+        print()
 
-    # ---- the warehouse grows: incremental maintenance (§8) --------------
+    # ---- the warehouse grows: incremental maintenance (§8) ---------------
     big_schema = tpch_schema(scale * 4)
     big_db = Database.generate(big_schema, tpch_generator_spec(scale * 4), seed=33)
     big_stats = big_db.build_statistics(sample_size=1500)
@@ -82,11 +116,13 @@ def main():
     big_query = parse_query(SQL, big_schema)
     new_space = SelectivitySpace(
         big_query,
-        served.space.dimensions,
-        list(served.space.shape),
+        compiled.space.dimensions,
+        list(compiled.space.shape),
         actual_selectivities(big_query, big_db),
     )
-    refreshed = refresh_bouquet(served.bouquet, big_optimizer, new_space)
+    refreshed = refresh_bouquet(
+        compiled.bouquet, big_optimizer, new_space, artifact_store=store
+    )
     print(
         f"after 4x scale-up: refreshed bouquet with "
         f"{refreshed.optimizer_calls} optimizer calls "
@@ -95,7 +131,8 @@ def main():
         f"found {refreshed.new_plan_count} new ones; "
         f"new guarantee MSO <= {refreshed.bouquet.mso_bound:.1f}"
     )
-    os.unlink(artifact)
+    store.clear()
+    os.rmdir(store_dir)
 
 
 if __name__ == "__main__":

@@ -1,50 +1,65 @@
 """Quickstart: build a plan bouquet for the paper's example query and
 execute it — both in the cost-model world and for real.
 
-Walks the full pipeline of the paper on the 1D example (Figures 1-4):
+Walks the full pipeline of the paper on the 1D example (Figures 1-4)
+through the public :mod:`repro.api` facade:
 
 1. generate a TPC-H database and (sampled, imperfect) statistics;
-2. sweep the error-prone selectivity to get the POSP and the PIC;
-3. discretize the PIC with doubling isocost contours -> the plan bouquet;
-4. run the bouquet at a chosen "actual" selectivity and compare its cost
-   against the native optimizer's worst case.
+2. ``compile_bouquet`` sweeps the error-prone selectivity to get the
+   POSP, discretizes the PIC with doubling isocost contours, and
+   anorexically reduces the result -> the plan bouquet;
+3. ``simulate`` runs the bouquet at a chosen "actual" selectivity the
+   optimizer never sees;
+4. ``execute`` runs it for real against the generated data.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    ExecutionEngine,
-    Lab,
-    RealExecutionService,
-    simulate_at,
+    BouquetConfig,
+    Catalog,
+    Database,
+    compile_bouquet,
+    execute,
+    simulate,
+    tpch_schema,
 )
-from repro.core import BouquetRunner
+from repro.catalog import tpch_generator_spec
+
+SQL = (
+    "select * from lineitem, orders, part "
+    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+    "and p_retailprice < 1000"
+)
 
 
 def main():
-    # The Lab bundles database generation, statistics, and the optimizer.
-    lab = Lab(tpch_scale=0.003)
-    ql = lab.build("EQ")  # the running example: orders of cheap parts
+    # --- the world: schema, data, imperfect statistics -------------------
+    scale = 0.003
+    schema = tpch_schema(scale)
+    database = Database.generate(schema, tpch_generator_spec(scale), seed=42)
+    statistics = database.build_statistics(sample_size=2000)
+    catalog = Catalog(schema, statistics=statistics, database=database)
 
-    print(ql.workload.query.describe())
+    # --- compile time -----------------------------------------------------
+    config = BouquetConfig(resolution=64, lambda_=0.2, ratio=2.0)
+    compiled = compile_bouquet(SQL, catalog, config=config)
+
+    print(compiled.query.describe())
     print()
-    print(ql.space.describe())
+    print(compiled.space.describe())
+    print()
+    print(compiled.bouquet.describe())
     print()
 
-    # --- compile time ---------------------------------------------------
-    print(f"POSP: {len(ql.diagram.posp_plan_ids)} plans across the range")
-    print(ql.bouquet.describe())
-    print()
-
-    # --- run time (cost-model simulation) -------------------------------
-    qa = (ql.space.shape[0] * 3 // 4,)  # an "actual" location the optimizer
-    # never sees: the bouquet discovers it by partial executions.
-    result = simulate_at(ql.bouquet, qa, mode="optimized")
-    optimal = ql.diagram.cost_at(qa)
-    print(
-        f"simulated bouquet run at selectivity "
-        f"{ql.space.selectivities_at(qa)[0]:.2%}:"
-    )
+    # --- run time (cost-model simulation) ---------------------------------
+    # An "actual" selectivity the optimizer never sees: the bouquet
+    # discovers it by budget-doubling partial executions.
+    qa = [0.6]
+    result = simulate(compiled, qa)
+    location = compiled.space.nearest_location(qa)
+    optimal = compiled.bouquet.diagram.cost_at(location)
+    print(f"simulated bouquet run at selectivity {qa[0]:.0%}:")
     for record in result.executions:
         kind = "spilled" if record.spilled else "full"
         status = "completed" if record.completed else "budget-killed"
@@ -55,16 +70,12 @@ def main():
     print(
         f"  total {result.total_cost:.1f} vs optimal {optimal:.1f} "
         f"=> sub-optimality {result.total_cost / optimal:.2f} "
-        f"(guaranteed bound: {ql.bouquet.mso_bound:.1f}, "
-        f"native optimizer worst case: {ql.nat.mso():.1f})"
+        f"(guaranteed bound: {compiled.mso_bound:.1f})"
     )
     print()
 
-    # --- run time (real execution) --------------------------------------
-    engine = ExecutionEngine(lab.h_db)
-    service = RealExecutionService(ql.bouquet, engine)
-    runner = BouquetRunner(ql.bouquet, service, mode="optimized")
-    real = runner.run()
+    # --- run time (real execution) -----------------------------------------
+    real = execute(compiled, database)
     print(
         f"real execution: {real.result_rows} result rows in "
         f"{real.execution_count} (partial) executions, "

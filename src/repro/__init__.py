@@ -6,9 +6,19 @@ injection, an instrumented budget-limited execution engine, synthetic
 TPC-H / TPC-DS environments, POSP/plan-diagram machinery, anorexic
 reduction, and the NAT/SEER baselines.
 
-Typical usage::
+Typical usage (the :mod:`repro.api` facade)::
 
-    from repro import Lab, identify_bouquet, simulate_at
+    from repro import BouquetConfig, Catalog, compile_bouquet, execute
+
+    catalog = Catalog(schema, statistics=stats, database=db)
+    compiled = compile_bouquet(sql, catalog, config=BouquetConfig(resolution=24))
+    result = execute(compiled, db)
+
+For cached, concurrent serving see :mod:`repro.serve`
+(``BouquetServer`` over a content-addressed ``BouquetArtifactStore``);
+for paper-style ESS-wide experiment sweeps::
+
+    from repro import Lab, simulate_at
 
     lab = Lab()
     ql = lab.build("3D_H_Q5")          # ESS + plan diagram + bouquet
@@ -16,6 +26,16 @@ Typical usage::
     print(result.total_cost / ql.diagram.cost_at((4, 7, 2)))  # sub-optimality
 """
 
+from .api import (
+    DEFAULT_CONFIG,
+    BouquetConfig,
+    Catalog,
+    CompiledBouquet,
+    compile_bouquet,
+    default_error_dimensions,
+    execute,
+    simulate,
+)
 from .bench.harness import Lab, QueryLab, shared_lab
 from .catalog import tpcds_schema, tpch_schema
 from .core import (
@@ -64,10 +84,23 @@ from .optimizer import (
 from .query import JoinPredicate, Query, SelectionPredicate, parse_query
 from .query.workload import TABLE2_NAMES, WorkloadQuery, full_workload
 from .robustness import NativeOptimizerStrategy, ReoptStrategy, SeerStrategy
+from .serve import ArtifactKey, BouquetArtifactStore, BouquetServer, ServeResult
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BouquetConfig",
+    "Catalog",
+    "CompiledBouquet",
+    "DEFAULT_CONFIG",
+    "compile_bouquet",
+    "default_error_dimensions",
+    "execute",
+    "simulate",
+    "ArtifactKey",
+    "BouquetArtifactStore",
+    "BouquetServer",
+    "ServeResult",
     "Lab",
     "QueryLab",
     "shared_lab",

@@ -1,0 +1,130 @@
+"""Serving-layer smoke bench: compile-cache a canned workload twice.
+
+The canonical deployment check for :mod:`repro.serve`: run a small
+canned workload through a :class:`~repro.serve.BouquetServer` cold, then
+run the identical workload again and verify the §4.2 amortization
+actually materialized — every second-pass request must be answered from
+the artifact cache, the optimizer must not be invoked at all, and the
+warm pass must be at least ``min_speedup``× faster end to end.
+``make serve-smoke`` / ``repro serve-smoke`` gate on this.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..api import BouquetConfig, Catalog
+from ..catalog.tpch import tpch_generator_spec, tpch_schema
+from ..datagen.database import Database
+from ..obs.tracer import MemorySink, Tracer
+from ..serve.cache import BouquetArtifactStore
+from ..serve.server import BouquetServer
+
+__all__ = ["CANNED_WORKLOAD", "ServeSmokeReport", "run_serve_smoke"]
+
+#: The canned workload: a handful of distinct SPJ shapes over TPC-H.
+CANNED_WORKLOAD = [
+    "select * from lineitem, orders, part "
+    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+    "and p_retailprice < 1000",
+    "select * from lineitem, orders "
+    "where l_orderkey = o_orderkey and o_totalprice < 150000",
+    "select count(*) from lineitem, part "
+    "where p_partkey = l_partkey and p_retailprice < 1200 "
+    "group by p_brand",
+]
+
+
+@dataclass
+class ServeSmokeReport:
+    """Outcome of one serve-smoke run (cold pass vs. warm pass)."""
+
+    queries: int
+    cold_seconds: float
+    warm_seconds: float
+    cold_optimizer_calls: float
+    warm_optimizer_calls: float
+    warm_sources: List[str] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    min_speedup: float = 5.0
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_seconds / max(self.warm_seconds, 1e-12)
+
+    @property
+    def all_warm_hits(self) -> bool:
+        return bool(self.warm_sources) and all(
+            source in ("memory", "disk") for source in self.warm_sources
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.all_warm_hits
+            and self.warm_optimizer_calls == 0
+            and self.speedup >= self.min_speedup
+        )
+
+    def describe(self) -> str:
+        from .reporting import format_table
+
+        rows = [
+            ["queries", self.queries],
+            ["cold pass", f"{self.cold_seconds:.4f}s"],
+            ["warm pass", f"{self.warm_seconds:.4f}s"],
+            ["speedup", f"{self.speedup:.1f}x (need >= {self.min_speedup:g}x)"],
+            ["cold optimizer calls", f"{self.cold_optimizer_calls:g}"],
+            ["warm optimizer calls", f"{self.warm_optimizer_calls:g}"],
+            ["warm sources", ",".join(self.warm_sources)],
+            ["verdict", "OK" if self.ok else "FAIL"],
+        ]
+        return format_table(["serve smoke", "value"], rows, title="serve smoke")
+
+
+def run_serve_smoke(
+    scale: float = 0.002,
+    seed: int = 7,
+    stats_sample: int = 800,
+    resolution: int = 32,
+    store_root: Optional[str] = None,
+    min_speedup: float = 5.0,
+    tracer: Optional[Tracer] = None,
+) -> ServeSmokeReport:
+    """Compile-cache :data:`CANNED_WORKLOAD` twice and report the gap."""
+    tracer = tracer if tracer is not None else Tracer(MemorySink())
+    schema = tpch_schema(scale)
+    database = Database.generate(schema, tpch_generator_spec(scale), seed=seed)
+    statistics = database.build_statistics(sample_size=stats_sample, seed=seed)
+    catalog = Catalog(schema, statistics=statistics, database=database)
+    config = BouquetConfig(resolution=resolution)
+    store = BouquetArtifactStore(root=store_root, tracer=tracer)
+    with BouquetServer(
+        catalog, config=config, store=store, tracer=tracer
+    ) as server:
+        calls0 = tracer.counters.get("optimizer.calls", 0)
+        t0 = time.perf_counter()
+        for sql in CANNED_WORKLOAD:
+            server.compile(sql)
+        cold_seconds = time.perf_counter() - t0
+        calls1 = tracer.counters.get("optimizer.calls", 0)
+
+        warm_sources = []
+        t0 = time.perf_counter()
+        for sql in CANNED_WORKLOAD:
+            _, source = server.compile(sql)
+            warm_sources.append(source)
+        warm_seconds = time.perf_counter() - t0
+        calls2 = tracer.counters.get("optimizer.calls", 0)
+    return ServeSmokeReport(
+        queries=len(CANNED_WORKLOAD),
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        cold_optimizer_calls=calls1 - calls0,
+        warm_optimizer_calls=calls2 - calls1,
+        warm_sources=warm_sources,
+        counters=dict(tracer.counters),
+        min_speedup=min_speedup,
+    )

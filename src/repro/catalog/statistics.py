@@ -174,9 +174,11 @@ class TableStatistics:
         self.table_name = table_name
         self.row_count = int(row_count)
         self._columns: Dict[str, ColumnStatistics] = {}
+        self._version = 0
 
     def set_column(self, column: str, stats: ColumnStatistics):
         self._columns[column] = stats
+        self._version += 1
 
     def column(self, column: str) -> Optional[ColumnStatistics]:
         return self._columns.get(column)
@@ -195,9 +197,11 @@ class DatabaseStatistics:
 
     def __init__(self):
         self._tables: Dict[str, TableStatistics] = {}
+        self._version = 0
 
     def set_table(self, stats: TableStatistics):
         self._tables[stats.table_name] = stats
+        self._version += 1
 
     def table(self, name: str) -> Optional[TableStatistics]:
         return self._tables.get(name)
@@ -213,3 +217,15 @@ class DatabaseStatistics:
     @property
     def table_names(self) -> List[str]:
         return sorted(self._tables)
+
+    def version_token(self) -> tuple:
+        """A cheap token that changes whenever statistics are replaced via
+        :meth:`set_table` / :meth:`TableStatistics.set_column` — used to
+        memoize content fingerprints (see
+        :func:`repro.serve.fingerprint.statistics_fingerprint`).  Mutating
+        :class:`ColumnStatistics` fields in place bypasses it; always go
+        through the setters."""
+        return (
+            self._version,
+            tuple((name, t._version) for name, t in sorted(self._tables.items())),
+        )

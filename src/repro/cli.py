@@ -14,7 +14,13 @@ across machines:
 * ``run``     — execute a query through the bouquet (compiling first or
   loading a saved artifact) and print the execution trace;
 * ``trace``   — summarize a JSONL telemetry trace (written with
-  ``compile/run --trace FILE``) into a Table 3-style per-contour account.
+  ``compile/run --trace FILE``) into a Table 3-style per-contour account;
+* ``serve-stats`` — summarize the serving-layer account (cache ladder,
+  single-flight coalescing, degradations) of a JSONL trace;
+* ``serve-smoke`` — compile-cache the canned workload twice and verify
+  the warm pass is all cache hits and at least 5x faster.
+
+Commands are built on the :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -23,14 +29,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api import BouquetConfig, Catalog, CompiledBouquet, compile_bouquet
+from .api import execute as api_execute
 from .catalog.tpcds import tpcds_generator_spec, tpcds_schema
 from .catalog.tpch import tpch_generator_spec, tpch_schema
 from .core.advisor import recommend_processing_mode
-from .core.session import BouquetSession, CompiledQuery
 from .core.validation import validate_bouquet
 from .datagen.database import Database
 from .exceptions import ReproError
-from .obs import JsonlSink, Tracer, read_trace, summarize_trace
+from .obs import JsonlSink, Tracer, read_trace, summarize_serving, summarize_trace
 from .optimizer.explain import explain as explain_plan
 from .query.sql import parse_query
 
@@ -65,6 +72,11 @@ def _build_environment(args):
     return schema, database, statistics
 
 
+def _build_catalog(args) -> Catalog:
+    schema, database, statistics = _build_environment(args)
+    return Catalog(schema, statistics=statistics, database=database)
+
+
 def _add_env_arguments(parser):
     parser.add_argument(
         "--benchmark", choices=("tpch", "tpcds"), default="tpch",
@@ -92,29 +104,26 @@ def _cmd_schema(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    schema, database, statistics = _build_environment(args)
-    session = BouquetSession(schema, statistics=statistics, database=database)
-    query = parse_query(args.sql, schema)
-    result = session.optimizer.optimize(query)
-    assignment = session.optimizer.estimated_assignment(query)
+    catalog = _build_catalog(args)
+    optimizer = catalog.optimizer()
+    query = parse_query(args.sql, catalog.schema)
+    result = optimizer.optimize(query)
+    assignment = optimizer.estimated_assignment(query)
     print(query.describe())
     print()
-    print(explain_plan(result.plan, schema, session.optimizer.cost_model, assignment))
+    print(explain_plan(result.plan, catalog.schema, optimizer.cost_model, assignment))
     return 0
 
 
 def _cmd_compile(args) -> int:
-    schema, database, statistics = _build_environment(args)
+    catalog = _build_catalog(args)
     tracer = _session_tracer(args)
-    session = BouquetSession(
-        schema,
-        statistics=statistics,
-        database=database,
-        lambda_=args.anorexic_lambda,
+    config = BouquetConfig(
         ratio=args.ratio,
-        tracer=tracer,
+        lambda_=args.anorexic_lambda,
+        resolution=args.resolution,
     )
-    compiled = session.compile(args.sql, resolution=args.resolution)
+    compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
     _finish_trace(tracer, args)
     print(compiled.bouquet.describe())
     if args.validate:
@@ -144,17 +153,16 @@ def _cmd_advise(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    schema, database, statistics = _build_environment(args)
+    catalog = _build_catalog(args)
     tracer = _session_tracer(args)
-    session = BouquetSession(
-        schema, statistics=statistics, database=database, tracer=tracer
-    )
     if args.load:
-        query = parse_query(args.sql, schema)
-        compiled = CompiledQuery.load(args.load, session, query)
+        compiled = CompiledBouquet.load(args.load, catalog, query=args.sql)
     else:
-        compiled = session.compile(args.sql, resolution=args.resolution)
-    result = compiled.execute(mode=args.mode)
+        config = BouquetConfig(resolution=args.resolution)
+        compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
+    result = api_execute(
+        compiled, catalog.database, mode=args.mode, tracer=tracer
+    )
     _finish_trace(tracer, args)
     for record in result.executions:
         kind = "spilled" if record.spilled else "full"
@@ -179,6 +187,39 @@ def _cmd_trace(args) -> int:
         return 2
     print(summarize_trace(records).describe())
     return 0
+
+
+def _cmd_serve_stats(args) -> int:
+    try:
+        records = read_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_serving(records).describe())
+    return 0
+
+
+def _cmd_serve_smoke(args) -> int:
+    from .bench.serving import run_serve_smoke
+    from .obs import JsonlSink as _JsonlSink
+
+    tracer = None
+    if args.trace:
+        tracer = Tracer(_JsonlSink(args.trace))
+    report = run_serve_smoke(
+        scale=args.scale,
+        seed=args.seed,
+        stats_sample=args.stats_sample,
+        resolution=args.resolution,
+        store_root=args.store,
+        min_speedup=args.min_speedup,
+        tracer=tracer,
+    )
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace}")
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -237,6 +278,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("file", help="trace file written with --trace")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_sstats = sub.add_parser(
+        "serve-stats",
+        help="summarize the serving-layer account (cache ladder, coalescing) "
+        "of a JSONL trace",
+    )
+    p_sstats.add_argument("file", help="trace file written by the serving layer")
+    p_sstats.set_defaults(func=_cmd_serve_stats)
+
+    p_smoke = sub.add_parser(
+        "serve-smoke",
+        help="compile-cache the canned workload twice; fail unless the warm "
+        "pass is all cache hits and >= 5x faster",
+    )
+    p_smoke.add_argument("--scale", type=float, default=0.002)
+    p_smoke.add_argument("--seed", type=int, default=7)
+    p_smoke.add_argument("--stats-sample", type=int, default=800)
+    p_smoke.add_argument("--resolution", type=int, default=32)
+    p_smoke.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="artifact store directory (default: memory-only)",
+    )
+    p_smoke.add_argument("--min-speedup", type=float, default=5.0)
+    p_smoke.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the serving telemetry as a JSONL trace",
+    )
+    p_smoke.set_defaults(func=_cmd_serve_smoke)
     return parser
 
 

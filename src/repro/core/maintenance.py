@@ -51,13 +51,26 @@ def refresh_bouquet(
     lambda_: Optional[float] = None,
     ratio: Optional[float] = None,
     seeds_per_dim: int = 3,
+    artifact_store=None,
 ) -> RefreshResult:
     """Rebuild a bouquet on ``new_space`` reusing the old bouquet's plans.
 
     ``optimizer`` must target the *new* (scaled) schema; ``new_space``
     must be built over the same query shape (same predicate pids) so the
     old plan structures remain meaningful.
+
+    ``artifact_store`` may be a
+    :class:`repro.serve.BouquetArtifactStore`; a refresh means the
+    statistics world view changed, so every cached artifact whose
+    statistics fingerprint differs from ``optimizer.statistics`` is
+    dropped before the rebuild.
     """
+    if artifact_store is not None:
+        from ..serve.fingerprint import statistics_fingerprint
+
+        artifact_store.invalidate_statistics(
+            statistics_fingerprint(optimizer.statistics)
+        )
     old_pids = {dim.pid for dim in old_bouquet.space.dimensions}
     new_pids = {dim.pid for dim in new_space.dimensions}
     if old_pids != new_pids:

@@ -1,54 +1,50 @@
-"""High-level API: compile a query into a bouquet once, execute it many
-times — with persistence for the canned-query scenario (§4.2).
+"""Legacy high-level API (deprecated): compile a query into a bouquet
+once, execute it many times — with persistence for the canned-query
+scenario (§4.2).
 
-:class:`BouquetSession` wires together the whole pipeline behind two
-calls::
+.. deprecated::
+    :class:`BouquetSession` predates the :mod:`repro.api` facade and is
+    kept as a thin shim: constructing one emits a
+    :class:`DeprecationWarning` and every method delegates to
+    :func:`repro.api.compile_bouquet` / :func:`repro.api.execute`.
+    New code should use ``repro.api`` directly (and :mod:`repro.serve`
+    for cached, concurrent serving)::
 
-    session = BouquetSession(schema, statistics=stats, database=db)
-    compiled = session.compile("select * from lineitem, orders, part "
-                               "where p_partkey = l_partkey and "
-                               "l_orderkey = o_orderkey and "
-                               "p_retailprice < 1000")
-    result = compiled.execute()          # real bouquet execution
-    compiled.save("eq_bouquet.json")     # reuse across processes
+        from repro.api import Catalog, compile_bouquet, execute
+
+        catalog = Catalog(schema, statistics=stats, database=db)
+        compiled = compile_bouquet(sql, catalog)
+        result = execute(compiled, db)
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Union
-
-import numpy as np
 
 from ..catalog.schema import Schema
 from ..catalog.statistics import DatabaseStatistics
 from ..datagen.database import Database
-from ..ess.diagram import PlanCostCache, PlanDiagram, coarse_subgrid
-from ..ess.dimensioning import Uncertainty, select_error_dimensions
-from ..ess.space import ErrorDimension, SelectivitySpace
-from ..exceptions import BouquetError, QueryError
+from ..ess.space import ErrorDimension
+from ..exceptions import BouquetError
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..optimizer.cost_model import POSTGRES_COST_MODEL, CostModel
 from ..optimizer.optimizer import Optimizer
-from ..optimizer.selectivity import actual_selectivities
-from ..optimizer.serialize import plan_from_dict, plan_to_dict
-from ..query.predicates import JoinPredicate
 from ..query.query import Query
 from ..query.sql import parse_query
-from ..query.workload import SELECTION_DIM_RANGE, join_dim_maximum
-from .bouquet import PlanBouquet, identify_bouquet
-from .contours import Contour
-from .runtime import AbstractExecutionService, BouquetRunner, BouquetRunResult
-
-#: Grids larger than this use the candidate (Picasso-style) diagram.
-_EXHAUSTIVE_LIMIT = 4096
-
-_DEFAULT_RESOLUTIONS = {1: 64, 2: 24, 3: 10, 4: 6, 5: 5}
+from .artifact import bouquet_from_dict, bouquet_to_dict
+from .bouquet import PlanBouquet
+from .runtime import BouquetRunResult
 
 
 class BouquetSession:
-    """Front door to the plan-bouquet pipeline."""
+    """Deprecated front door to the plan-bouquet pipeline.
+
+    Use :mod:`repro.api` instead; this shim remains only so existing
+    callers keep working.
+    """
 
     def __init__(
         self,
@@ -60,9 +56,13 @@ class BouquetSession:
         ratio: float = 2.0,
         tracer: Optional[Tracer] = None,
     ):
-        """``tracer`` (default: null) observes the whole pipeline: it is
-        attached to the optimizer and threaded through diagram
-        construction, bouquet identification, and every execution."""
+        warnings.warn(
+            "BouquetSession is deprecated; use repro.api.compile_bouquet / "
+            "repro.api.execute (or repro.serve.BouquetServer for cached "
+            "serving) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.schema = schema
         self.statistics = statistics
         self.database = database
@@ -73,6 +73,18 @@ class BouquetSession:
 
     # ------------------------------------------------------------------
 
+    def _catalog(self):
+        from .. import api
+
+        return api.Catalog(self.schema, self.statistics, self.database)
+
+    def _config(self, resolution: Optional[int] = None, mode: str = "optimized"):
+        from .. import api
+
+        return api.BouquetConfig(
+            ratio=self.ratio, lambda_=self.lambda_, resolution=resolution, mode=mode
+        )
+
     def compile(
         self,
         query: Union[str, Query],
@@ -80,87 +92,56 @@ class BouquetSession:
         base_assignment: Optional[Mapping[str, float]] = None,
         resolution: Optional[int] = None,
     ) -> "CompiledQuery":
-        """Run the compile-time phase (Figure 8, left half).
+        """Run the compile-time phase (Figure 8, left half)."""
+        from ..api import _compile_pipeline
 
-        ``query`` may be SQL text (the SPJ fragment) or a ``Query``.
-        Error dimensions default to the §4.1 uncertainty rules; the base
-        assignment defaults to ground truth when a database is attached
-        (non-error selectivities are assumed accurately estimable, §8)
-        and to statistics-based estimates otherwise.
-        """
         if isinstance(query, str):
             query = parse_query(query, self.schema)
-        if dimensions is None:
-            dimensions = self._default_dimensions(query)
-        if not dimensions:
-            raise BouquetError(
-                "no error-prone dimensions identified; the native optimizer "
-                "suffices for this query"
-            )
-        with self.tracer.span("session.compile", query=query.name) as span:
-            if base_assignment is None:
-                if self.database is not None:
-                    base_assignment = actual_selectivities(query, self.database)
-                else:
-                    base_assignment = self.optimizer.estimated_assignment(query)
-            res = resolution or _DEFAULT_RESOLUTIONS.get(len(dimensions), 5)
-            space = SelectivitySpace(query, dimensions, res, base_assignment)
-            if space.size <= _EXHAUSTIVE_LIMIT:
-                diagram = PlanDiagram.exhaustive(self.optimizer, space)
-            else:
-                diagram = PlanDiagram.from_candidates(
-                    self.optimizer, space, coarse_subgrid(space, per_dim=4)
-                )
-            bouquet = identify_bouquet(
-                diagram, lambda_=self.lambda_, ratio=self.ratio
-            )
-            span.set(
-                dimensions=space.dimensionality,
-                grid=space.size,
-                cardinality=bouquet.cardinality,
-                contours=len(bouquet.contours),
-                mso_bound=bouquet.mso_bound,
-            )
-        return CompiledQuery(session=self, query=query, bouquet=bouquet)
+        compiled = _compile_pipeline(
+            query,
+            self._catalog(),
+            self._config(resolution),
+            dimensions,
+            base_assignment,
+            self.tracer,
+            None,
+            self.optimizer,
+            None,
+            span_name="session.compile",
+        )
+        return CompiledQuery(session=self, query=query, bouquet=compiled.bouquet)
 
     def _default_dimensions(self, query: Query) -> List[ErrorDimension]:
-        # Cascade through the §4.1 mechanisms: high-uncertainty predicates
-        # first, then anything estimable-but-fallible, then the paper's
-        # fallback — every predicate whose selectivity is evaluated at all.
-        pids: List[str] = []
-        for threshold in (Uncertainty.MEDIUM, Uncertainty.LOW, Uncertainty.NONE):
-            pids = select_error_dimensions(query, self.statistics, threshold)
-            if pids:
-                break
-        dims = []
-        for pid in pids:
-            pred = query.predicate(pid)
-            if isinstance(pred, JoinPredicate):
-                hi = join_dim_maximum(self.schema, pred)
-                lo = hi / 1000.0
-                label = f"{pred.left_table}x{pred.right_table}"
-            else:
-                lo, hi = SELECTION_DIM_RANGE
-                label = f"{pred.table}.{pred.column}"
-            dims.append(ErrorDimension(pid=pid, lo=lo, hi=hi, label=label))
-        return dims
+        from ..api import default_error_dimensions
+
+        return default_error_dimensions(query, self.schema, self.statistics)
 
 
 @dataclass
 class CompiledQuery:
-    """A compiled bouquet bound to its session."""
+    """A compiled bouquet bound to its (deprecated) session."""
 
     session: BouquetSession
     query: Query
     bouquet: PlanBouquet
 
     @property
-    def space(self) -> SelectivitySpace:
+    def space(self):
         return self.bouquet.space
 
     @property
     def mso_bound(self) -> float:
         return self.bouquet.mso_bound
+
+    def _as_artifact(self):
+        from .. import api
+
+        config = api.BouquetConfig(
+            ratio=self.bouquet.ratio, lambda_=self.bouquet.lambda_
+        )
+        return api.CompiledBouquet(
+            query=self.query, bouquet=self.bouquet, config=config
+        )
 
     # -- execution -------------------------------------------------------
 
@@ -170,34 +151,32 @@ class CompiledQuery:
         mode: str = "optimized",
     ) -> BouquetRunResult:
         """Run the bouquet for real against the attached (or given) data."""
-        from ..executor.engine import ExecutionEngine
-        from ..executor.service import RealExecutionService
+        from .. import api
 
         database = database or self.session.database
         if database is None:
             raise BouquetError("no database attached; use simulate() instead")
-        tracer = self.session.tracer
-        with tracer.span("session.execute", query=self.query.name, mode=mode):
-            engine = ExecutionEngine(
-                database,
-                cost_model=self.session.optimizer.cost_model,
-                tracer=tracer,
-            )
-            service = RealExecutionService(self.bouquet, engine)
-            return BouquetRunner(
-                self.bouquet, service, mode=mode, tracer=tracer
-            ).run()
+        return api.execute(
+            self._as_artifact(),
+            database,
+            mode=mode,
+            tracer=self.session.tracer,
+            span_name="session.execute",
+        )
 
     def simulate(
         self, qa_values: Sequence[float], mode: str = "optimized"
     ) -> BouquetRunResult:
         """Cost-model-world run against a hypothetical actual location."""
-        tracer = self.session.tracer
-        with tracer.span("session.simulate", query=self.query.name, mode=mode):
-            service = AbstractExecutionService(self.bouquet, qa_values)
-            return BouquetRunner(
-                self.bouquet, service, mode=mode, tracer=tracer
-            ).run()
+        from .. import api
+
+        return api.simulate(
+            self._as_artifact(),
+            qa_values,
+            mode=mode,
+            tracer=self.session.tracer,
+            span_name="session.simulate",
+        )
 
     # -- persistence -------------------------------------------------------
 
@@ -207,40 +186,7 @@ class CompiledQuery:
             json.dump(self.to_dict(), handle)
 
     def to_dict(self) -> Dict:
-        bouquet = self.bouquet
-        diagram = bouquet.diagram
-        posp = diagram.posp_plan_ids
-        plan_ids = sorted(set(posp) | set(bouquet.plan_ids))
-        return {
-            "format": "repro.bouquet.v1",
-            "query_name": self.query.name,
-            "predicates": sorted(self.query.predicate_ids),
-            "lambda": bouquet.lambda_,
-            "ratio": bouquet.ratio,
-            "dimensions": [
-                {"pid": d.pid, "lo": d.lo, "hi": d.hi, "label": d.label}
-                for d in self.space.dimensions
-            ],
-            "shape": list(self.space.shape),
-            "base_assignment": self.space.base_assignment,
-            "plans": {
-                str(pid): plan_to_dict(bouquet.registry.plan(pid))
-                for pid in plan_ids
-            },
-            "diagram_plan_ids": diagram.plan_ids.ravel().tolist(),
-            "diagram_costs": diagram.costs.ravel().tolist(),
-            "contours": [
-                {
-                    "index": c.index,
-                    "cost": c.cost,
-                    "plan_at": [
-                        {"location": list(loc), "plan": pid}
-                        for loc, pid in sorted(c.plan_at.items())
-                    ],
-                }
-                for c in bouquet.contours
-            ],
-        }
+        return bouquet_to_dict(self.query, self.bouquet)
 
     @staticmethod
     def load(path: str, session: BouquetSession, query: Query) -> "CompiledQuery":
@@ -256,60 +202,5 @@ class CompiledQuery:
 
     @staticmethod
     def from_dict(data: Dict, session: BouquetSession, query: Query) -> "CompiledQuery":
-        if data.get("format") != "repro.bouquet.v1":
-            raise BouquetError("unrecognized bouquet file format")
-        if sorted(query.predicate_ids) != data["predicates"]:
-            raise QueryError(
-                "supplied query's predicates do not match the saved bouquet"
-            )
-        dims = [
-            ErrorDimension(d["pid"], d["lo"], d["hi"], d.get("label", ""))
-            for d in data["dimensions"]
-        ]
-        shape = tuple(data["shape"])
-        space = SelectivitySpace(query, dims, list(shape), data["base_assignment"])
-
-        registry = session.optimizer.registry(query)
-        id_map: Dict[int, int] = {}
-        for old_id_str, plan_data in sorted(
-            data["plans"].items(), key=lambda kv: int(kv[0])
-        ):
-            plan = plan_from_dict(plan_data)
-            new_id, _ = registry.register(plan)
-            id_map[int(old_id_str)] = new_id
-
-        raw_ids = np.array(data["diagram_plan_ids"], dtype=np.int64).reshape(shape)
-        remap = np.vectorize(lambda pid: id_map[int(pid)])
-        plan_ids = remap(raw_ids)
-        costs = np.array(data["diagram_costs"], dtype=float).reshape(shape)
-        cache = PlanCostCache(space, session.optimizer, registry)
-        diagram = PlanDiagram(space, plan_ids, costs, registry, cache)
-
-        contours = []
-        for entry in data["contours"]:
-            plan_at = {
-                tuple(item["location"]): id_map[int(item["plan"])]
-                for item in entry["plan_at"]
-            }
-            contours.append(
-                Contour(
-                    index=entry["index"],
-                    cost=entry["cost"],
-                    locations=list(plan_at),
-                    plan_at=plan_at,
-                )
-            )
-        lambda_ = data["lambda"]
-        budgets = [(1.0 + lambda_) * c.cost for c in contours]
-        plan_set = sorted({pid for c in contours for pid in c.plan_ids})
-        bouquet = PlanBouquet(
-            space=space,
-            diagram=diagram,
-            registry=registry,
-            contours=contours,
-            budgets=budgets,
-            plan_ids=plan_set,
-            lambda_=lambda_,
-            ratio=data["ratio"],
-        )
+        bouquet = bouquet_from_dict(data, session.optimizer, query)
         return CompiledQuery(session=session, query=query, bouquet=bouquet)

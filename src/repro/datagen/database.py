@@ -8,6 +8,7 @@ statistics), which is the knob that creates realistic estimation errors.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from typing import Dict, Mapping, Optional
 
@@ -44,6 +45,7 @@ class Database:
     def __init__(self, schema: Schema, tables: Dict[str, Dict[str, np.ndarray]]):
         self.schema = schema
         self._tables = tables
+        self._fingerprint: Optional[str] = None
         for name, cols in tables.items():
             table = schema.table(name)
             lengths = {arr.size for arr in cols.values()}
@@ -118,6 +120,31 @@ class Database:
 
     def row_count(self, table: str) -> int:
         return self.schema.table(table).row_count
+
+    def fingerprint(self) -> str:
+        """Content digest of every table's data, cached after first use.
+
+        Distinguishes regenerated/different datasets so caches keyed on
+        "which data am I looking at" (e.g. the execution service's
+        cardinality cache) cannot serve stale answers.  If arrays are
+        mutated in place, call :meth:`invalidate_fingerprint`.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for tname in sorted(self._tables):
+                digest.update(tname.encode("utf-8"))
+                cols = self._tables[tname]
+                for cname in sorted(cols):
+                    digest.update(cname.encode("utf-8"))
+                    arr = np.ascontiguousarray(cols[cname])
+                    digest.update(str(arr.dtype).encode("utf-8"))
+                    digest.update(arr.tobytes())
+            self._fingerprint = digest.hexdigest()[:20]
+        return self._fingerprint
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the cached fingerprint after in-place data mutation."""
+        self._fingerprint = None
 
     # ------------------------------------------------------------------
     # Statistics

@@ -34,8 +34,22 @@ class RealExecutionService(ExecutionService):
         self.query: Query = bouquet.space.query
         self._dim_pids = {dim.pid for dim in bouquet.space.dimensions}
         self._cardinality_cache: Dict[str, float] = {}
+        self._cache_data_fp: str = engine.database.fingerprint()
         #: Trace of (plan_id, spilled, rows) for analysis/tests.
         self.history: List[Tuple[int, bool, int]] = []
+
+    def _cardinalities(self) -> Dict[str, float]:
+        """The cardinality cache, scoped to the engine's current dataset.
+
+        Cached counts are facts about one concrete database; if the
+        engine was pointed at different/regenerated data since the last
+        lookup, the old entries are stale and the cache starts over.
+        """
+        fp = self.engine.database.fingerprint()
+        if fp != self._cache_data_fp:
+            self._cardinality_cache = {}
+            self._cache_data_fp = fp
+        return self._cardinality_cache
 
     # ------------------------------------------------------------------
 
@@ -130,17 +144,19 @@ class RealExecutionService(ExecutionService):
 
     def _subtree_cardinality(self, node: PlanNode) -> float:
         """Exact output cardinality of an error-free subtree (cached)."""
+        cache = self._cardinalities()
         key = node.signature()
-        cached = self._cardinality_cache.get(key)
+        cached = cache.get(key)
         if cached is None:
             result = self.engine.execute(self.query, node, budget=None)
             cached = float(result.rows)
-            self._cardinality_cache[key] = cached
+            cache[key] = cached
         return cached
 
     def _filtered_table_cardinality(self, table: str, filter_pids) -> float:
+        cache = self._cardinalities()
         key = f"{table}|{','.join(filter_pids)}"
-        cached = self._cardinality_cache.get(key)
+        cached = cache.get(key)
         if cached is None:
             rows = self.engine.schema.table(table).row_count
             if not filter_pids:
@@ -155,5 +171,5 @@ class RealExecutionService(ExecutionService):
                         raise ExecutionError(f"pid {pid!r} is not a selection")
                     mask &= selection_mask(batch, pred)
                 cached = float(mask.sum())
-            self._cardinality_cache[key] = cached
+            cache[key] = cached
         return cached

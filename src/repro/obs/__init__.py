@@ -5,7 +5,14 @@ Dependency-free telemetry for the bouquet pipeline — see
 :mod:`repro.obs.summary` for the ``repro trace`` summarizer.
 """
 
-from .summary import ContourAccount, TraceSummary, read_trace, summarize_trace
+from .summary import (
+    ContourAccount,
+    ServingSummary,
+    TraceSummary,
+    read_trace,
+    summarize_serving,
+    summarize_trace,
+)
 from .tracer import (
     NULL_TRACER,
     JsonlSink,
@@ -20,8 +27,10 @@ from .tracer import (
 
 __all__ = [
     "ContourAccount",
+    "ServingSummary",
     "TraceSummary",
     "read_trace",
+    "summarize_serving",
     "summarize_trace",
     "NULL_TRACER",
     "JsonlSink",

@@ -14,7 +14,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-__all__ = ["ContourAccount", "TraceSummary", "read_trace", "summarize_trace"]
+__all__ = [
+    "ContourAccount",
+    "ServingSummary",
+    "TraceSummary",
+    "read_trace",
+    "summarize_serving",
+    "summarize_trace",
+]
 
 
 @dataclass
@@ -141,6 +148,116 @@ def _attr_blurb(attrs: Dict[str, Any], limit: int = 4) -> str:
         if len(parts) >= limit:
             break
     return " ".join(parts)
+
+
+@dataclass
+class ServingSummary:
+    """Everything ``repro serve-stats`` reports about a serving trace.
+
+    Built from the ``serve.*`` counters plus the serve-side spans; the
+    cache ladder (memory → disk → compile → coalesce) and the
+    degradation tail (timeouts, failures, NAT fallbacks) each get a
+    line.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    compile_spans: int = 0
+    compile_seconds: float = 0.0
+    execute_spans: int = 0
+    execute_seconds: float = 0.0
+
+    def _c(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    @property
+    def requests(self) -> float:
+        return self._c("serve.requests")
+
+    @property
+    def lookups(self) -> float:
+        return (
+            self._c("serve.cache.hit_memory")
+            + self._c("serve.cache.hit_disk")
+            + self._c("serve.cache.miss")
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if not lookups:
+            return 0.0
+        return (
+            self._c("serve.cache.hit_memory") + self._c("serve.cache.hit_disk")
+        ) / lookups
+
+    def describe(self) -> str:
+        from ..bench.reporting import format_table
+
+        cache_rows = [
+            ["memory hits", self._c("serve.cache.hit_memory")],
+            ["disk hits", self._c("serve.cache.hit_disk")],
+            ["misses", self._c("serve.cache.miss")],
+            ["hit rate", f"{self.hit_rate:.0%}"],
+            ["stores", self._c("serve.cache.store")],
+            ["evictions", self._c("serve.cache.evict")],
+            ["invalidated", self._c("serve.cache.invalidated")],
+            ["coalesced compiles", self._c("serve.singleflight.coalesced")],
+        ]
+        request_rows = [
+            ["requests", self.requests],
+            ["served ok", self._c("serve.served_ok")],
+            ["degraded (NAT)", self._c("serve.degraded")],
+            ["budget exhausted", self._c("serve.budget_exhausted")],
+            ["failed", self._c("serve.failed")],
+            ["compile timeouts", self._c("serve.compile_timeouts")],
+            ["compile failures", self._c("serve.compile_failures")],
+        ]
+        lines = [
+            format_table(["cache", "value"], cache_rows, title="artifact cache"),
+            "",
+            format_table(["requests", "value"], request_rows, title="request ladder"),
+        ]
+        if self.compile_spans or self.execute_spans:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["phase", "count", "total s"],
+                    [
+                        ["compile", self.compile_spans, f"{self.compile_seconds:.4f}"],
+                        ["execute", self.execute_spans, f"{self.execute_seconds:.4f}"],
+                    ],
+                    title="serve phases",
+                )
+            )
+        calls = self._c("optimizer.calls")
+        lines.append("")
+        lines.append(f"optimizer calls in trace: {calls:g}")
+        return "\n".join(lines)
+
+
+def summarize_serving(records: Iterable[Dict[str, Any]]) -> ServingSummary:
+    """Condense a record stream into the serving-layer account.
+
+    Counters arrive either as flushed ``counter`` records (JSONL traces)
+    or can be injected directly by building :class:`ServingSummary` from
+    a live tracer snapshot.
+    """
+    summary = ServingSummary()
+    for record in records:
+        kind = record.get("type")
+        if kind == "counter":
+            name = record["name"]
+            if name.startswith("serve.") or name == "optimizer.calls":
+                summary.counters[name] = record["value"]
+        elif kind == "span_end":
+            name = record.get("name")
+            if name == "serve.compile":
+                summary.compile_spans += 1
+                summary.compile_seconds += float(record.get("dur", 0.0))
+            elif name == "serve.execute":
+                summary.execute_spans += 1
+                summary.execute_seconds += float(record.get("dur", 0.0))
+    return summary
 
 
 def read_trace(path: str) -> List[Dict[str, Any]]:

@@ -25,6 +25,7 @@ the fan-out instead).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -223,6 +224,11 @@ class Tracer:
         self.timings: Dict[str, TimingStats] = {}
         self._next_span_id = 1
         self._stack: List[int] = []
+        # Counters/timings are bumped from serving worker threads; the
+        # read-modify-write must be atomic.  (Spans remain effectively
+        # single-threaded: concurrent requests nest under their own
+        # call stacks and the serving layer never shares one span.)
+        self._metrics_lock = threading.Lock()
 
     # -- spans ----------------------------------------------------------
 
@@ -279,13 +285,15 @@ class Tracer:
     # -- metrics --------------------------------------------------------
 
     def count(self, name: str, n: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._metrics_lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def observe(self, name: str, value: float) -> None:
-        stats = self.timings.get(name)
-        if stats is None:
-            stats = self.timings[name] = TimingStats()
-        stats.observe(value)
+        with self._metrics_lock:
+            stats = self.timings.get(name)
+            if stats is None:
+                stats = self.timings[name] = TimingStats()
+            stats.observe(value)
 
     def snapshot(self) -> Dict[str, Dict]:
         """Current metric aggregates (counters + timing stats)."""

@@ -1,0 +1,35 @@
+"""repro.serve — cached, concurrent serving of compiled bouquets.
+
+The serving layer turns the paper's compile-once/execute-many deployment
+model (§4.2) into a working subsystem:
+
+* :mod:`~repro.serve.fingerprint` derives content-hash cache keys from
+  (canonical query, statistics fingerprint, compile knobs);
+* :mod:`~repro.serve.cache` is the two-tier artifact store (memory LRU
+  over durable disk JSON) with statistics-driven invalidation;
+* :mod:`~repro.serve.server` is the concurrent front end: single-flight
+  compile deduplication, bounded worker pool, per-request budgets, and
+  graceful degradation to the native-optimizer path.
+"""
+
+from .cache import BouquetArtifactStore, STORE_FORMAT
+from .fingerprint import (
+    ArtifactKey,
+    artifact_key,
+    canonical_query_text,
+    config_fingerprint,
+    statistics_fingerprint,
+)
+from .server import BouquetServer, ServeResult
+
+__all__ = [
+    "ArtifactKey",
+    "BouquetArtifactStore",
+    "BouquetServer",
+    "STORE_FORMAT",
+    "ServeResult",
+    "artifact_key",
+    "canonical_query_text",
+    "config_fingerprint",
+    "statistics_fingerprint",
+]

@@ -1,0 +1,248 @@
+"""The bouquet artifact cache: in-memory LRU over a durable disk store.
+
+Artifacts are keyed by the content hash of (canonical query, statistics
+fingerprint, compile knobs) — see :mod:`repro.serve.fingerprint`.  The
+memory tier holds live :class:`~repro.api.CompiledBouquet` objects (a
+hit costs a dict lookup); the disk tier holds the versioned JSON
+envelope and survives process restarts, which is what makes the §4.2
+"compile once, execute many" amortization real across deployments.
+
+Telemetry (all through the attached tracer, zero-overhead when null):
+
+* ``serve.cache.hit_memory`` / ``serve.cache.hit_disk`` /
+  ``serve.cache.miss`` — lookup outcomes;
+* ``serve.cache.store`` — artifacts written;
+* ``serve.cache.evict`` — memory-LRU evictions (the disk copy remains);
+* ``serve.cache.invalidated`` — entries dropped because their
+  statistics fingerprint no longer matches the live catalog.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import BouquetError
+from ..obs.tracer import NULL_TRACER, Tracer
+from .fingerprint import ArtifactKey
+
+__all__ = ["BouquetArtifactStore", "STORE_FORMAT"]
+
+#: Format tag of the on-disk cache envelope (key + artifact payload).
+STORE_FORMAT = "repro.serve.artifact.v1"
+
+
+class BouquetArtifactStore:
+    """Two-tier (memory LRU + disk) store for compiled-bouquet artifacts.
+
+    ``root=None`` keeps the store memory-only; otherwise artifacts are
+    persisted as ``<digest>.json`` under ``root`` and reloaded lazily.
+    ``capacity`` bounds only the memory tier — an evicted entry's disk
+    copy remains and reloading it is a disk hit, not a recompile.
+    All operations are thread-safe.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        capacity: int = 32,
+        tracer: Optional[Tracer] = None,
+    ):
+        if capacity < 1:
+            raise BouquetError("artifact cache capacity must be at least 1")
+        self.root = root
+        self.capacity = int(capacity)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._lock = threading.RLock()
+        self._memory: "OrderedDict[str, Tuple[ArtifactKey, object]]" = OrderedDict()
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.json")  # type: ignore[arg-type]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def cached_digests(self) -> List[str]:
+        """Digests reachable without compiling (memory ∪ disk)."""
+        with self._lock:
+            digests = set(self._memory)
+        if self.root is not None and os.path.isdir(self.root):
+            for name in os.listdir(self.root):
+                if name.endswith(".json"):
+                    digests.add(name[: -len(".json")])
+        return sorted(digests)
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(
+        self,
+        key: ArtifactKey,
+        catalog,
+        query=None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """Return the cached :class:`~repro.api.CompiledBouquet` or None.
+
+        ``catalog`` (and optionally the parsed ``query``) are needed to
+        rehydrate a disk entry: plans are re-registered against a fresh
+        optimizer built from the catalog.
+        """
+        compiled, _ = self.lookup(key, catalog, query=query, tracer=tracer)
+        return compiled
+
+    def lookup(
+        self,
+        key: ArtifactKey,
+        catalog,
+        query=None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """Like :meth:`get` but also reports which tier answered:
+        ``(compiled, "memory" | "disk")`` on a hit, ``(None, None)`` on a
+        miss."""
+        tracer = tracer if tracer is not None else self.tracer
+        digest = key.digest
+        with self._lock:
+            entry = self._memory.get(digest)
+            if entry is not None:
+                self._memory.move_to_end(digest)
+                if tracer.enabled:
+                    tracer.count("serve.cache.hit_memory")
+                return entry[1], "memory"
+        if self.root is not None:
+            path = self._path(digest)
+            if os.path.exists(path):
+                compiled = self._load_disk(path, key, catalog, query)
+                if compiled is not None:
+                    with self._lock:
+                        self._insert_memory(key, compiled, tracer)
+                    if tracer.enabled:
+                        tracer.count("serve.cache.hit_disk")
+                    return compiled, "disk"
+        if tracer.enabled:
+            tracer.count("serve.cache.miss")
+        return None, None
+
+    def put(self, key: ArtifactKey, compiled, tracer: Optional[Tracer] = None) -> None:
+        """Insert an artifact into both tiers."""
+        tracer = tracer if tracer is not None else self.tracer
+        digest = key.digest
+        with self._lock:
+            self._insert_memory(key, compiled, tracer)
+        if self.root is not None:
+            envelope = {
+                "format": STORE_FORMAT,
+                "key": {
+                    "query_text": key.query_text,
+                    "query_digest": key.query_digest,
+                    "statistics_digest": key.statistics_digest,
+                    "config_digest": key.config_digest,
+                },
+                "artifact": compiled.to_dict(),
+            }
+            tmp = self._path(digest) + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp, self._path(digest))
+        if tracer.enabled:
+            tracer.count("serve.cache.store")
+
+    def _insert_memory(self, key: ArtifactKey, compiled, tracer: Tracer) -> None:
+        digest = key.digest
+        self._memory[digest] = (key, compiled)
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            if tracer.enabled:
+                tracer.count("serve.cache.evict")
+
+    def _load_disk(self, path: str, key: ArtifactKey, catalog, query):
+        from ..api import CompiledBouquet
+
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if envelope.get("format") != STORE_FORMAT:
+            return None
+        stored = envelope.get("key", {})
+        if stored.get("statistics_digest") != key.statistics_digest:
+            return None
+        return CompiledBouquet.from_dict(envelope["artifact"], catalog, query)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate_statistics(
+        self, current_fingerprint: str, tracer: Optional[Tracer] = None
+    ) -> int:
+        """Drop every entry whose statistics fingerprint differs from the
+        live catalog's — called when statistics are rebuilt or the data
+        changes under the server (see :func:`repro.core.maintenance.refresh_bouquet`).
+        Returns the number of entries removed."""
+        tracer = tracer if tracer is not None else self.tracer
+        dropped = set()
+        with self._lock:
+            stale = [
+                digest
+                for digest, (key, _) in self._memory.items()
+                if key.statistics_digest != current_fingerprint
+            ]
+            for digest in stale:
+                del self._memory[digest]
+                dropped.add(digest)
+        if self.root is not None and os.path.isdir(self.root):
+            for name in list(os.listdir(self.root)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(self.root, name)
+                try:
+                    with open(path) as handle:
+                        envelope = json.load(handle)
+                    stored_fp = envelope.get("key", {}).get("statistics_digest")
+                except (OSError, ValueError):
+                    stored_fp = None
+                if stored_fp != current_fingerprint:
+                    try:
+                        os.unlink(path)
+                        dropped.add(name[: -len(".json")])
+                    except OSError:
+                        pass
+        removed = len(dropped)
+        if removed and tracer.enabled:
+            tracer.count("serve.cache.invalidated", removed)
+        return removed
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+        if self.root is not None and os.path.isdir(self.root):
+            for name in os.listdir(self.root):
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(self.root, name))
+                    except OSError:
+                        pass
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current occupancy of both tiers (for ``repro serve-stats``)."""
+        with self._lock:
+            memory = len(self._memory)
+        disk = 0
+        if self.root is not None and os.path.isdir(self.root):
+            disk = sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+        return {"memory_entries": memory, "disk_entries": disk}

@@ -1,0 +1,363 @@
+"""BouquetServer: concurrent serving of cached compiled bouquets.
+
+The paper's deployment story (§4.2) is "compile once, execute many" for
+canned queries.  :class:`BouquetServer` makes that operational:
+
+* every request is keyed by the content hash of (canonical query,
+  statistics fingerprint, compile knobs) and answered from the artifact
+  store when possible;
+* concurrent misses on the *same* key are **single-flighted** — exactly
+  one compile runs, the rest coalesce onto its future (counter
+  ``serve.singleflight.coalesced``);
+* misses compile on a bounded worker pool; a request whose compile
+  exceeds ``compile_timeout`` **degrades** to the NAT path (one native
+  optimizer call, one unbounded execution — an answer without the MSO
+  guarantee) while the compile keeps running in the background so the
+  artifact still lands in the cache for later requests;
+* executions run with per-request budgets
+  (:class:`repro.api.BudgetCappedService`) and report
+  ``budget-exhausted`` instead of an MSO-guaranteed result when capped;
+* :meth:`refresh_statistics` swaps the catalog's world view and
+  invalidates every artifact compiled against the old fingerprint.
+
+The degradation ladder, top to bottom: memory hit → disk hit →
+single-flight compile → NAT fallback → failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..api import (
+    BouquetConfig,
+    Catalog,
+    CompiledBouquet,
+    DEFAULT_CONFIG,
+    _compile_pipeline,
+    execute as api_execute,
+)
+from ..catalog.statistics import DatabaseStatistics
+from ..core.runtime import BouquetRunResult
+from ..exceptions import BouquetError, BudgetExceeded, ReproError
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..query.query import Query
+from ..query.sql import parse_query
+from ..robustness.nat import native_run
+from .cache import BouquetArtifactStore
+from .fingerprint import ArtifactKey, artifact_key, statistics_fingerprint
+
+__all__ = ["BouquetServer", "ServeResult"]
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one served request.
+
+    ``status`` is one of:
+
+    * ``"ok"`` — bouquet execution completed with the MSO guarantee;
+    * ``"degraded"`` — answered via the native-optimizer fallback
+      (compile failed or timed out); no MSO guarantee;
+    * ``"budget-exhausted"`` — the per-request cost budget ran out
+      mid-bouquet;
+    * ``"failed"`` — no answer could be produced.
+
+    ``cache`` records where the compiled artifact came from:
+    ``"memory"`` / ``"disk"`` (store hits), ``"compiled"`` (this request
+    ran the compile), ``"coalesced"`` (another in-flight request's
+    compile was awaited), or ``"none"`` (never obtained).
+    """
+
+    status: str
+    cache: str
+    query_name: str
+    key: Optional[ArtifactKey] = None
+    result: Optional[BouquetRunResult] = None
+    mso_bound: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def rows(self) -> Optional[int]:
+        return self.result.result_rows if self.result is not None else None
+
+    @property
+    def total_cost(self) -> Optional[float]:
+        return self.result.total_cost if self.result is not None else None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Inflight:
+    """One in-progress compile: its future plus the owning request."""
+
+    future: Future
+    waiters: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class BouquetServer:
+    """Serves many concurrent query requests from a bouquet artifact cache.
+
+    Thread-safe: ``serve``/``compile`` may be called from any number of
+    threads.  Compiles run on an internal bounded pool; executions run
+    on the caller's thread (budget-capped per request).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        config: BouquetConfig = DEFAULT_CONFIG,
+        store: Optional[BouquetArtifactStore] = None,
+        max_workers: int = 4,
+        compile_timeout: Optional[float] = None,
+        compile_workers: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        if max_workers < 1:
+            raise BouquetError("server needs at least one compile worker")
+        self.catalog = catalog
+        self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.store = store if store is not None else BouquetArtifactStore()
+        self.compile_timeout = compile_timeout
+        self.compile_workers = compile_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="bouquet-compile"
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BouquetServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Compile path (cache + single-flight)
+    # ------------------------------------------------------------------
+
+    def _parse(self, query: Union[str, Query]) -> Tuple[Query, Optional[str]]:
+        if isinstance(query, str):
+            return parse_query(query, self.catalog.schema), query
+        return query, None
+
+    def key_for(self, query: Union[str, Query]) -> ArtifactKey:
+        parsed, _ = self._parse(query)
+        return artifact_key(parsed, self.catalog.statistics, self.config)
+
+    def _compile_and_store(
+        self, key: ArtifactKey, query: Query, sql: Optional[str]
+    ) -> CompiledBouquet:
+        """Pool task: run the compile pipeline and publish the artifact."""
+        compiled = _compile_pipeline(
+            query,
+            self.catalog,
+            self.config,
+            None,
+            None,
+            self.tracer,
+            self.compile_workers,
+            None,
+            sql,
+            span_name="serve.compile",
+        )
+        self.store.put(key, compiled, tracer=self.tracer)
+        return compiled
+
+    def compile(
+        self, query: Union[str, Query], timeout: Optional[float] = None
+    ) -> Tuple[CompiledBouquet, str]:
+        """Obtain the compiled bouquet for ``query``; returns
+        ``(compiled, source)`` where source is ``memory``/``disk``/
+        ``compiled``/``coalesced``.
+
+        Raises :class:`FutureTimeoutError` when the (possibly coalesced)
+        compile does not finish within ``timeout`` (default: the
+        server's ``compile_timeout``); the compile itself keeps running
+        and will still populate the store.
+        """
+        parsed, sql = self._parse(query)
+        key = artifact_key(parsed, self.catalog.statistics, self.config)
+        hit, tier = self.store.lookup(key, self.catalog, query=parsed, tracer=self.tracer)
+        if hit is not None:
+            return hit, tier
+        digest = key.digest
+        with self._lock:
+            if self._closed:
+                raise BouquetError("server is closed")
+            future = self._inflight.get(digest)
+            if future is None:
+                owner = True
+                future = self._pool.submit(self._compile_and_store, key, parsed, sql)
+                self._inflight[digest] = future
+            else:
+                owner = False
+                if self.tracer.enabled:
+                    self.tracer.count("serve.singleflight.coalesced")
+        if owner:
+            # Registered outside the lock: a compile that finishes (or
+            # fails) instantly runs the callback inline on this thread,
+            # and _retire needs the lock we would still be holding.
+            future.add_done_callback(lambda _f, d=digest: self._retire(d))
+        timeout = timeout if timeout is not None else self.compile_timeout
+        compiled = future.result(timeout=timeout)
+        return compiled, ("compiled" if owner else "coalesced")
+
+    def _retire(self, digest: str) -> None:
+        with self._lock:
+            self._inflight.pop(digest, None)
+
+    # ------------------------------------------------------------------
+    # Serve path (compile → execute, with degradation)
+    # ------------------------------------------------------------------
+
+    def serve(
+        self,
+        query: Union[str, Query],
+        *,
+        budget: Optional[float] = None,
+        mode: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> ServeResult:
+        """Answer one query end to end.
+
+        Requires the catalog to carry a database (serving executes for
+        real).  Never raises for per-request problems — compile
+        failures, deadlines, and budget exhaustion are reported in the
+        :class:`ServeResult` status, and the NAT fallback is attempted
+        before giving up.
+        """
+        if self.catalog.database is None:
+            raise BouquetError("serving requires a catalog with a database")
+        parsed, _sql = self._parse(query)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.count("serve.requests")
+        key = artifact_key(parsed, self.catalog.statistics, self.config)
+        compiled: Optional[CompiledBouquet] = None
+        source = "none"
+        error: Optional[str] = None
+        try:
+            compiled, source = self.compile(parsed, timeout=timeout)
+        except FutureTimeoutError:
+            error = "compile deadline exceeded"
+            if tracer.enabled:
+                tracer.count("serve.compile_timeouts")
+        except ReproError as exc:
+            error = str(exc)
+            if tracer.enabled:
+                tracer.count("serve.compile_failures")
+
+        if compiled is not None:
+            try:
+                result = api_execute(
+                    compiled,
+                    self.catalog.database,
+                    budget=budget,
+                    mode=mode,
+                    tracer=tracer,
+                    span_name="serve.execute",
+                )
+                if tracer.enabled:
+                    tracer.count("serve.served_ok")
+                return ServeResult(
+                    status="ok",
+                    cache=source,
+                    query_name=parsed.name,
+                    key=key,
+                    result=result,
+                    mso_bound=compiled.mso_bound,
+                )
+            except BudgetExceeded as exc:
+                if tracer.enabled:
+                    tracer.count("serve.budget_exhausted")
+                return ServeResult(
+                    status="budget-exhausted",
+                    cache=source,
+                    query_name=parsed.name,
+                    key=key,
+                    mso_bound=compiled.mso_bound,
+                    error=str(exc),
+                )
+            except ReproError as exc:
+                # Bouquet execution failed outright; fall through to NAT.
+                error = str(exc)
+                if tracer.enabled:
+                    tracer.count("serve.execute_failures")
+
+        # Degradation: no compiled bouquet in time — answer natively.
+        try:
+            optimizer = self.catalog.optimizer(self.config, tracer=tracer)
+            result = native_run(optimizer, parsed, self.catalog.database, tracer)
+            if tracer.enabled:
+                tracer.count("serve.degraded")
+            return ServeResult(
+                status="degraded",
+                cache=source,
+                query_name=parsed.name,
+                key=key,
+                result=result,
+                error=error,
+            )
+        except ReproError as exc:
+            if tracer.enabled:
+                tracer.count("serve.failed")
+            return ServeResult(
+                status="failed",
+                cache=source,
+                query_name=parsed.name,
+                key=key,
+                error=f"{error}; native fallback failed: {exc}" if error else str(exc),
+            )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def refresh_statistics(
+        self, statistics: Optional[DatabaseStatistics]
+    ) -> int:
+        """Swap in a new statistics world view and invalidate every cached
+        artifact compiled against the old one.  Returns the number of
+        entries dropped."""
+        self.catalog.statistics = statistics
+        fingerprint = statistics_fingerprint(statistics)
+        removed = self.store.invalidate_statistics(fingerprint, tracer=self.tracer)
+        if self.tracer.enabled:
+            self.tracer.count("serve.statistics_refreshes")
+        return removed
+
+    def stats(self) -> Dict[str, Dict]:
+        """Point-in-time serving statistics (counters + store occupancy)."""
+        snapshot = self.tracer.snapshot() if self.tracer.enabled else {"counters": {}}
+        with self._lock:
+            inflight = len(self._inflight)
+        return {
+            "counters": {
+                name: value
+                for name, value in sorted(snapshot["counters"].items())
+                if name.startswith(("serve.", "optimizer.calls"))
+            },
+            "store": self.store.snapshot(),
+            "inflight": inflight,
+        }

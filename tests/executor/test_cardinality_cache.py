@@ -1,0 +1,87 @@
+"""Regression: RealExecutionService's cardinality cache must be scoped
+to the engine's *current* dataset — cached counts are facts about one
+concrete database, and pointing the engine at regenerated data used to
+leave stale denominators in the run-time learning path (§5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import tpch_generator_spec
+from repro.datagen import Database
+from repro.executor import ExecutionEngine, RealExecutionService
+
+SCALE = 0.003
+
+
+@pytest.fixture(scope="module")
+def other_database(schema):
+    return Database.generate(schema, tpch_generator_spec(SCALE), seed=8)
+
+
+def test_cache_survives_while_data_is_unchanged(eq_bouquet, database):
+    service = RealExecutionService(eq_bouquet, ExecutionEngine(database))
+    cache = service._cardinalities()
+    cache["probe"] = 123.0
+    assert service._cardinalities() is cache
+    assert service._cardinalities()["probe"] == 123.0
+
+
+def test_cache_cleared_when_engine_points_at_new_data(
+    eq_bouquet, database, other_database
+):
+    service = RealExecutionService(eq_bouquet, ExecutionEngine(database))
+    service._cardinalities()["probe"] = 123.0
+
+    service.engine = ExecutionEngine(other_database)
+    fresh = service._cardinalities()
+    assert "probe" not in fresh
+
+    # And again when swapping back: the fingerprint moved a second time.
+    fresh["probe2"] = 5.0
+    service.engine = ExecutionEngine(database)
+    assert "probe2" not in service._cardinalities()
+
+
+def test_learning_uses_the_current_database(eq_bouquet, database, other_database):
+    """The actual regression: learned selectivities after an engine swap
+    must be computed against the new data's cardinalities."""
+    pid = eq_bouquet.space.dimensions[0].pid
+    plan_id = sorted(eq_bouquet.plan_ids)[0]
+
+    def learned_value(service):
+        outcome = service.run_spilled(plan_id, 1e12, frozenset([pid]))
+        (learned,) = [item for item in outcome.learned if item.pid == pid]
+        return learned.value
+
+    service = RealExecutionService(eq_bouquet, ExecutionEngine(database))
+    learned_value(service)  # warms the cache with database's cardinalities
+
+    service.engine = ExecutionEngine(other_database)
+    after = learned_value(service)
+
+    expected = learned_value(
+        RealExecutionService(eq_bouquet, ExecutionEngine(other_database))
+    )
+    assert after == pytest.approx(expected)
+
+
+class TestDatabaseFingerprint:
+    def test_stable_and_cached(self, schema):
+        db = Database.generate(schema, tpch_generator_spec(SCALE), seed=99)
+        fp = db.fingerprint()
+        assert fp == db.fingerprint()
+        assert db._fingerprint == fp
+
+    def test_different_data_different_fingerprint(self, database, other_database):
+        assert database.fingerprint() != other_database.fingerprint()
+
+    def test_in_place_mutation_needs_explicit_invalidation(self, schema):
+        db = Database.generate(schema, tpch_generator_spec(SCALE), seed=99)
+        fp = db.fingerprint()
+        column = next(iter(db.table("part").values()))
+        column += 1
+        # The cached digest is (documented to be) stale until invalidated.
+        assert db.fingerprint() == fp
+        db.invalidate_fingerprint()
+        assert db.fingerprint() != fp

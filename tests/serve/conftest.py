@@ -1,0 +1,20 @@
+"""Serving-layer fixtures: a catalog over the shared session world and
+a small compile config that keeps each test-compile to a handful of
+optimizer calls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import BouquetConfig, Catalog
+
+
+@pytest.fixture
+def catalog(schema, statistics, database):
+    """Function-scoped so tests may mutate `catalog.statistics` freely."""
+    return Catalog(schema, statistics=statistics, database=database)
+
+
+@pytest.fixture
+def small_config():
+    return BouquetConfig(resolution=16)

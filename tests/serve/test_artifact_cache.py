@@ -1,0 +1,148 @@
+"""BouquetArtifactStore: LRU memory tier over the durable disk tier."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import BouquetConfig, Catalog, compile_bouquet
+from repro.exceptions import BouquetError
+from repro.obs import MemorySink, Tracer
+from repro.serve import BouquetArtifactStore, STORE_FORMAT, artifact_key
+
+SQL = (
+    "select * from lineitem, orders, part "
+    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+    "and p_retailprice < 1000"
+)
+
+
+@pytest.fixture(scope="module")
+def world(schema, statistics, database):
+    """Two compiled artifacts under distinct keys (different resolutions)."""
+    catalog = Catalog(schema, statistics=statistics, database=database)
+    cfg_a = BouquetConfig(resolution=16)
+    cfg_b = BouquetConfig(resolution=12)
+    compiled_a = compile_bouquet(SQL, catalog, config=cfg_a)
+    compiled_b = compile_bouquet(SQL, catalog, config=cfg_b)
+    key_a = artifact_key(compiled_a.query, statistics, cfg_a)
+    key_b = artifact_key(compiled_b.query, statistics, cfg_b)
+    assert key_a.digest != key_b.digest
+    return catalog, (key_a, compiled_a), (key_b, compiled_b)
+
+
+def _counters(tracer):
+    return tracer.snapshot()["counters"]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(BouquetError):
+        BouquetArtifactStore(capacity=0)
+
+
+def test_memory_tier_hit_and_counters(world):
+    catalog, (key, compiled), _ = world
+    tracer = Tracer(MemorySink())
+    store = BouquetArtifactStore(tracer=tracer)
+
+    assert store.lookup(key, catalog) == (None, None)
+    assert _counters(tracer)["serve.cache.miss"] == 1
+
+    store.put(key, compiled)
+    hit, tier = store.lookup(key, catalog)
+    assert hit is compiled
+    assert tier == "memory"
+    assert _counters(tracer)["serve.cache.hit_memory"] == 1
+    assert _counters(tracer)["serve.cache.store"] == 1
+    assert len(store) == 1
+    assert store.cached_digests() == [key.digest]
+
+
+def test_memory_only_store_forgets_on_eviction(world):
+    catalog, (key_a, compiled_a), (key_b, compiled_b) = world
+    store = BouquetArtifactStore(capacity=1)
+    store.put(key_a, compiled_a)
+    store.put(key_b, compiled_b)
+    assert len(store) == 1
+    assert store.get(key_a, catalog) is None
+    assert store.get(key_b, catalog) is compiled_b
+
+
+def test_eviction_spills_to_disk_not_to_recompile(world, tmp_path):
+    catalog, (key_a, compiled_a), (key_b, compiled_b) = world
+    tracer = Tracer(MemorySink())
+    store = BouquetArtifactStore(root=str(tmp_path), capacity=1, tracer=tracer)
+    store.put(key_a, compiled_a)
+    store.put(key_b, compiled_b)  # evicts A from memory; disk copy remains
+    assert _counters(tracer)["serve.cache.evict"] == 1
+    assert store.snapshot() == {"memory_entries": 1, "disk_entries": 2}
+
+    hit, tier = store.lookup(key_a, catalog)
+    assert tier == "disk"
+    assert _counters(tracer)["serve.cache.hit_disk"] == 1
+    # The rehydrated artifact is semantically the one we stored.
+    assert hit.mso_bound == pytest.approx(compiled_a.mso_bound)
+    assert hit.bouquet.cardinality == compiled_a.bouquet.cardinality
+    assert [c.cost for c in hit.bouquet.contours] == pytest.approx(
+        [c.cost for c in compiled_a.bouquet.contours]
+    )
+    # Reloading promoted it back into the (full) memory tier, evicting B.
+    assert store.get(key_a, catalog) is hit
+
+
+def test_disk_tier_survives_process_restart(world, tmp_path):
+    catalog, (key, compiled), _ = world
+    writer = BouquetArtifactStore(root=str(tmp_path))
+    writer.put(key, compiled)
+
+    reader = BouquetArtifactStore(root=str(tmp_path))
+    assert reader.snapshot()["disk_entries"] == 1
+    hit, tier = reader.lookup(key, catalog)
+    assert tier == "disk"
+    assert hit.mso_bound == pytest.approx(compiled.mso_bound)
+
+    envelope = json.load(open(os.path.join(str(tmp_path), f"{key.digest}.json")))
+    assert envelope["format"] == STORE_FORMAT
+    assert envelope["key"]["statistics_digest"] == key.statistics_digest
+
+
+def test_corrupt_disk_entry_is_a_miss(world, tmp_path):
+    catalog, (key, compiled), _ = world
+    store = BouquetArtifactStore(root=str(tmp_path))
+    store.put(key, compiled)
+    path = os.path.join(str(tmp_path), f"{key.digest}.json")
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    fresh = BouquetArtifactStore(root=str(tmp_path))
+    assert fresh.lookup(key, catalog) == (None, None)
+
+
+def test_invalidate_statistics_drops_stale_entries(world, tmp_path):
+    catalog, (key_a, compiled_a), (key_b, compiled_b) = world
+    tracer = Tracer(MemorySink())
+    store = BouquetArtifactStore(root=str(tmp_path), tracer=tracer)
+    store.put(key_a, compiled_a)
+    store.put(key_b, compiled_b)
+
+    # Same fingerprint: nothing to do.
+    assert store.invalidate_statistics(key_a.statistics_digest) == 0
+    assert store.snapshot() == {"memory_entries": 2, "disk_entries": 2}
+
+    # New world view: both entries (same stats digest) go, counted once
+    # each even though they live in both tiers.
+    removed = store.invalidate_statistics("somebody-else")
+    assert removed == 2
+    assert _counters(tracer)["serve.cache.invalidated"] == 2
+    assert store.snapshot() == {"memory_entries": 0, "disk_entries": 0}
+    assert store.lookup(key_a, catalog) == (None, None)
+
+
+def test_clear_empties_both_tiers(world, tmp_path):
+    catalog, (key, compiled), _ = world
+    store = BouquetArtifactStore(root=str(tmp_path))
+    store.put(key, compiled)
+    store.clear()
+    assert store.snapshot() == {"memory_entries": 0, "disk_entries": 0}
+    assert store.cached_digests() == []

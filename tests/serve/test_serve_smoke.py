@@ -1,0 +1,69 @@
+"""The gated serve-smoke bench: cold pass compiles, warm pass must be
+all cache hits with zero optimizer calls and a real speedup."""
+
+from __future__ import annotations
+
+from repro.bench.serving import CANNED_WORKLOAD, ServeSmokeReport, run_serve_smoke
+
+
+def test_canned_workload_shapes():
+    assert len(CANNED_WORKLOAD) >= 3
+    assert len(set(CANNED_WORKLOAD)) == len(CANNED_WORKLOAD)
+
+
+def test_smoke_run_amortizes(tmp_path):
+    report = run_serve_smoke(
+        scale=0.002,
+        seed=7,
+        stats_sample=600,
+        resolution=16,
+        store_root=str(tmp_path),
+        min_speedup=2.0,  # CI-safe floor; the CLI gate keeps the 5x bar
+    )
+    assert report.queries == len(CANNED_WORKLOAD)
+    assert report.all_warm_hits
+    assert report.warm_optimizer_calls == 0
+    assert report.cold_optimizer_calls > 0
+    assert report.speedup >= 2.0
+    assert report.ok
+    text = report.describe()
+    assert "speedup" in text
+    assert "warm optimizer calls" in text
+
+
+def test_report_verdict_logic():
+    good = ServeSmokeReport(
+        queries=2,
+        cold_seconds=1.0,
+        warm_seconds=0.1,
+        cold_optimizer_calls=64,
+        warm_optimizer_calls=0,
+        warm_sources=["memory", "disk"],
+    )
+    assert good.speedup == 10.0
+    assert good.ok
+
+    assert not ServeSmokeReport(
+        queries=2,
+        cold_seconds=1.0,
+        warm_seconds=0.1,
+        cold_optimizer_calls=64,
+        warm_optimizer_calls=2,  # optimizer ran on the warm pass
+        warm_sources=["memory", "memory"],
+    ).ok
+    assert not ServeSmokeReport(
+        queries=2,
+        cold_seconds=1.0,
+        warm_seconds=0.5,  # only 2x
+        cold_optimizer_calls=64,
+        warm_optimizer_calls=0,
+        warm_sources=["memory", "memory"],
+    ).ok
+    assert not ServeSmokeReport(
+        queries=2,
+        cold_seconds=1.0,
+        warm_seconds=0.1,
+        cold_optimizer_calls=64,
+        warm_optimizer_calls=0,
+        warm_sources=["memory", "compiled"],  # a warm miss
+    ).ok

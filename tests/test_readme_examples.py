@@ -1,7 +1,63 @@
 """Guard that the README / package-docstring code snippets actually run."""
 
+README_SQL = (
+    "select * from lineitem, orders, part "
+    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+    "and p_retailprice < 1000"
+)
+
 
 class TestReadmeSnippets:
+    def test_api_quickstart_snippet(self):
+        from repro import BouquetConfig, Catalog, Database, tpch_schema
+        from repro import compile_bouquet, execute, simulate
+        from repro.catalog import tpch_generator_spec
+
+        schema = tpch_schema(0.002)
+        db = Database.generate(schema, tpch_generator_spec(0.002), seed=42)
+        catalog = Catalog(
+            schema, statistics=db.build_statistics(sample_size=500), database=db
+        )
+        compiled = compile_bouquet(
+            README_SQL,
+            catalog,
+            config=BouquetConfig(resolution=16, lambda_=0.2, ratio=2.0),
+        )
+        assert compiled.bouquet.describe()
+        assert compiled.mso_bound > 0
+        result = simulate(compiled, [0.6])
+        assert result.completed
+        real = execute(compiled, db)
+        assert real.result_rows is not None
+        assert real.execution_count >= 1
+
+    def test_serving_snippet(self, tmp_path):
+        from repro import BouquetArtifactStore, BouquetServer, Catalog, Database
+        from repro import tpch_schema
+        from repro.api import BouquetConfig
+        from repro.catalog import tpch_generator_spec
+
+        schema = tpch_schema(0.002)
+        db = Database.generate(schema, tpch_generator_spec(0.002), seed=42)
+        catalog = Catalog(
+            schema, statistics=db.build_statistics(sample_size=500), database=db
+        )
+        store = BouquetArtifactStore(root=str(tmp_path))
+        with BouquetServer(
+            catalog,
+            config=BouquetConfig(resolution=16),
+            store=store,
+            compile_timeout=30.0,
+        ) as server:
+            served = server.serve(README_SQL, budget=1e9)
+            assert served.status == "ok"
+            assert served.cache == "compiled"
+            assert served.rows is not None
+            dropped = server.refresh_statistics(
+                db.build_statistics(sample_size=1000)
+            )
+            assert dropped == 1
+
     def test_quickstart_snippet(self):
         from repro import Lab, simulate_at
 
