@@ -8,6 +8,9 @@
 #   make serve-smoke  compile-cache the canned workload twice; fail unless
 #                     the warm pass is all cache hits and >= 5x faster
 #   make check        lint + serve-smoke (the gated fast checks)
+#   make ci           lint + the tier-1 pytest suite, in one gate
+#   make bench-sched  benchmark the contour-crossing schedulers; writes
+#                     BENCH_sched.json and fails on any acceptance miss
 #   make bench        regenerate every paper table/figure
 #   make experiments  bench + rebuild EXPERIMENTS.md
 #   make examples     run the example scripts end to end
@@ -16,7 +19,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -36,6 +39,12 @@ serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro serve-smoke
 
 check: lint serve-smoke
+
+ci: lint
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench-sched:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.sched --out BENCH_sched.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

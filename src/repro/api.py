@@ -26,6 +26,7 @@ working as a thin deprecation shim that delegates here.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
 
@@ -53,6 +54,7 @@ from .query.predicates import JoinPredicate
 from .query.query import Query
 from .query.sql import parse_query
 from .query.workload import SELECTION_DIM_RANGE, join_dim_maximum
+from .sched.strategy import CROSSING_NAMES, call_full, call_spilled
 
 __all__ = [
     "BouquetConfig",
@@ -92,7 +94,9 @@ class BouquetConfig:
     artifact and participate in cache keys (see
     :func:`repro.serve.fingerprint.artifact_key`).  The rest are runtime
     knobs: ``mode`` toggles the spill/AxisPlans optimized driver vs. the
-    basic Figure 7 driver, ``equivalence_threshold`` sizes the
+    basic Figure 7 driver, ``crossing`` picks the contour-crossing
+    scheduler (:mod:`repro.sched` — ``sequential``, ``concurrent``, or
+    ``timesliced``), ``equivalence_threshold`` sizes the
     cost-equivalence groups, and ``model_error_delta`` is the §3.4
     bounded cost-model-error δ (budgets inflate by 1+δ).
     """
@@ -101,6 +105,7 @@ class BouquetConfig:
     lambda_: float = 0.2
     resolution: Optional[int] = None
     mode: str = "optimized"
+    crossing: str = "sequential"
     equivalence_threshold: float = 0.2
     model_error_delta: float = 0.0
     cost_model: str = "postgres"
@@ -114,6 +119,11 @@ class BouquetConfig:
             raise BouquetError("config: resolution must be at least 2")
         if self.mode not in _MODES:
             raise BouquetError(f"config: unknown runtime mode {self.mode!r}")
+        if self.crossing not in CROSSING_NAMES:
+            raise BouquetError(
+                f"config: unknown crossing strategy {self.crossing!r} "
+                f"(expected one of {list(CROSSING_NAMES)})"
+            )
         if self.model_error_delta < 0.0:
             raise BouquetError("config: model_error_delta must be non-negative")
         if self.cost_model not in _COST_MODELS:
@@ -150,6 +160,7 @@ class BouquetConfig:
             "lambda_": self.lambda_,
             "resolution": self.resolution,
             "mode": self.mode,
+            "crossing": self.crossing,
             "equivalence_threshold": self.equivalence_threshold,
             "model_error_delta": self.model_error_delta,
             "cost_model": self.cost_model,
@@ -420,9 +431,13 @@ class BudgetCappedService(ExecutionService):
         self.inner = inner
         self.budget = float(budget)
         self.spent = 0.0
+        # Concurrent crossing calls run_full from worker threads; the
+        # spent ledger must stay consistent under interleaving.
+        self._lock = threading.Lock()
 
     def _allowed(self, requested: float) -> float:
-        remaining = self.budget - self.spent
+        with self._lock:
+            remaining = self.budget - self.spent
         if remaining <= 0:
             raise BudgetExceeded(
                 f"request budget {self.budget:g} exhausted after spending "
@@ -431,7 +446,8 @@ class BudgetCappedService(ExecutionService):
         return min(requested, remaining)
 
     def _charge(self, outcome: ExecutionOutcome, truncated: bool) -> ExecutionOutcome:
-        self.spent += outcome.cost_spent
+        with self._lock:
+            self.spent += outcome.cost_spent
         if truncated and not outcome.completed:
             raise BudgetExceeded(
                 f"request budget {self.budget:g} exhausted mid-bouquet "
@@ -439,16 +455,22 @@ class BudgetCappedService(ExecutionService):
             )
         return outcome
 
-    def run_full(self, plan_id: int, budget: float) -> ExecutionOutcome:
+    def run_full(
+        self, plan_id: int, budget: float, cancel: Optional[object] = None
+    ) -> ExecutionOutcome:
         allowed = self._allowed(budget)
-        outcome = self.inner.run_full(plan_id, allowed)
+        outcome = call_full(self.inner, plan_id, allowed, cancel=cancel)
         return self._charge(outcome, truncated=allowed < budget)
 
     def run_spilled(
-        self, plan_id: int, budget: float, unlearned_pids: FrozenSet[str]
+        self,
+        plan_id: int,
+        budget: float,
+        unlearned_pids: FrozenSet[str],
+        cancel: Optional[object] = None,
     ) -> ExecutionOutcome:
         allowed = self._allowed(budget)
-        outcome = self.inner.run_spilled(plan_id, allowed, unlearned_pids)
+        outcome = call_spilled(self.inner, plan_id, allowed, unlearned_pids, cancel=cancel)
         return self._charge(outcome, truncated=allowed < budget)
 
 
@@ -458,6 +480,7 @@ def execute(
     *,
     budget: Optional[float] = None,
     mode: Optional[str] = None,
+    crossing: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     span_name: str = "api.execute",
 ) -> BouquetRunResult:
@@ -465,7 +488,9 @@ def execute(
 
     ``budget`` caps the *total* cost the request may spend across every
     partial execution; exceeding it raises
-    :class:`~repro.exceptions.BudgetExceeded`.
+    :class:`~repro.exceptions.BudgetExceeded`.  ``crossing`` overrides the
+    config's contour-crossing strategy for this one request (see
+    :mod:`repro.sched`).
     """
     from .executor.engine import ExecutionEngine
     from .executor.service import RealExecutionService
@@ -475,6 +500,7 @@ def execute(
     tracer = tracer if tracer is not None else NULL_TRACER
     config = compiled.config
     run_mode = mode if mode is not None else config.mode
+    run_crossing = crossing if crossing is not None else config.crossing
     cost_model = compiled.bouquet.cost_cache.optimizer.cost_model
     with tracer.span(span_name, query=compiled.query.name, mode=run_mode):
         engine = ExecutionEngine(data, cost_model=cost_model, tracer=tracer)
@@ -485,6 +511,7 @@ def execute(
             compiled.bouquet,
             service,
             mode=run_mode,
+            crossing=run_crossing,
             equivalence_threshold=config.equivalence_threshold,
             model_error_delta=config.model_error_delta,
             tracer=tracer,
@@ -496,6 +523,7 @@ def simulate(
     qa_values: Sequence[float],
     *,
     mode: Optional[str] = None,
+    crossing: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     span_name: str = "api.simulate",
 ) -> BouquetRunResult:
@@ -503,12 +531,14 @@ def simulate(
     tracer = tracer if tracer is not None else NULL_TRACER
     config = compiled.config
     run_mode = mode if mode is not None else config.mode
+    run_crossing = crossing if crossing is not None else config.crossing
     with tracer.span(span_name, query=compiled.query.name, mode=run_mode):
         service = AbstractExecutionService(compiled.bouquet, qa_values)
         return BouquetRunner(
             compiled.bouquet,
             service,
             mode=run_mode,
+            crossing=run_crossing,
             equivalence_threshold=config.equivalence_threshold,
             model_error_delta=config.model_error_delta,
             tracer=tracer,

@@ -1,0 +1,313 @@
+"""Scheduler bench: contour-crossing strategies head to head.
+
+Sweeps every actual location of a 2D ESS (the §6.7 run-time query
+2D_H_Q8a) through the basic bouquet driver once per crossing strategy
+and records the observed worst-case sub-optimality in each strategy's
+native currency:
+
+* ``sequential`` — work MSO, guaranteed ``rho * (1+lambda) * r^2/(r-1)``;
+* ``concurrent`` — elapsed (critical-path cost-time) MSO, guaranteed
+  ``(1+lambda) * r^2/(r-1)`` — the rho factor collapses because a
+  contour's plans run on separate cores (§3.3);
+* ``timesliced`` — work MSO again (one core, round-robin), plus a
+  bit-identical repeat check: same seed, same schedule, same account.
+
+``make bench-sched`` runs this and writes ``BENCH_sched.json``; the
+process exits non-zero when an acceptance criterion fails (concurrent
+not strictly better than sequential, a bound violated, or the
+time-sliced repeat diverging).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..catalog.tpch import tpch_generator_spec, tpch_schema
+from ..core.bouquet import identify_bouquet
+from ..core.runtime import AbstractExecutionService, BouquetRunner
+from ..datagen.database import Database
+from ..ess.diagram import PlanDiagram
+from ..ess.space import SelectivitySpace
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..optimizer.cost_model import POSTGRES_COST_MODEL
+from ..optimizer.optimizer import Optimizer
+from ..optimizer.selectivity import actual_selectivities
+from ..query.workload import tpch_workload
+from ..robustness.metrics import crossing_mso_bound
+
+__all__ = ["SchedBenchReport", "StrategySweep", "run_sched_bench", "main"]
+
+STRATEGIES = ("sequential", "concurrent", "timesliced")
+
+
+@dataclass
+class StrategySweep:
+    """One strategy's full-grid sweep account."""
+
+    strategy: str
+    mso_work: float
+    mso_elapsed: float
+    aso_work: float
+    aso_elapsed: float
+    executions: int
+    cancellations: int
+    wall_seconds: float
+    #: Per-location digest (used for the determinism check).
+    signature: Tuple = field(default=(), repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "mso_work": self.mso_work,
+            "mso_elapsed": self.mso_elapsed,
+            "aso_work": self.aso_work,
+            "aso_elapsed": self.aso_elapsed,
+            "executions": self.executions,
+            "cancellations": self.cancellations,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
+class SchedBenchReport:
+    """The bench verdict: per-strategy sweeps plus the analytical bounds."""
+
+    query: str
+    grid: int
+    rho: int
+    ratio: float
+    lambda_: float
+    sweeps: Dict[str, StrategySweep]
+    sequential_bound: float
+    concurrent_bound: float
+    timesliced_deterministic: bool
+
+    @property
+    def concurrent_beats_sequential(self) -> bool:
+        """Concurrent elapsed MSO strictly below sequential work MSO."""
+        return (
+            self.sweeps["concurrent"].mso_elapsed
+            < self.sweeps["sequential"].mso_work
+        )
+
+    @property
+    def within_bounds(self) -> bool:
+        return (
+            self.sweeps["sequential"].mso_work <= self.sequential_bound
+            and self.sweeps["concurrent"].mso_elapsed <= self.concurrent_bound
+            and self.sweeps["timesliced"].mso_work <= self.sequential_bound
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.concurrent_beats_sequential
+            and self.within_bounds
+            and self.timesliced_deterministic
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query,
+            "grid": self.grid,
+            "rho": self.rho,
+            "ratio": self.ratio,
+            "lambda": self.lambda_,
+            "strategies": {
+                name: sweep.to_dict() for name, sweep in self.sweeps.items()
+            },
+            "bounds": {
+                "sequential": self.sequential_bound,
+                "concurrent": self.concurrent_bound,
+            },
+            "checks": {
+                "concurrent_beats_sequential": self.concurrent_beats_sequential,
+                "within_bounds": self.within_bounds,
+                "timesliced_deterministic": self.timesliced_deterministic,
+                "ok": self.ok,
+            },
+        }
+
+    def describe(self) -> str:
+        from .reporting import format_table
+
+        rows = []
+        for name in STRATEGIES:
+            sweep = self.sweeps[name]
+            rows.append(
+                [
+                    name,
+                    f"{sweep.mso_work:.2f}",
+                    f"{sweep.mso_elapsed:.2f}",
+                    f"{sweep.aso_elapsed:.2f}",
+                    sweep.executions,
+                    sweep.cancellations,
+                    f"{sweep.wall_seconds:.3f}s",
+                ]
+            )
+        rows.append(
+            [
+                "bound",
+                f"{self.sequential_bound:.2f}",
+                f"{self.concurrent_bound:.2f}",
+                "",
+                "",
+                "",
+                "",
+            ]
+        )
+        table = format_table(
+            ["crossing", "MSO(work)", "MSO(elapsed)", "ASO(elapsed)",
+             "execs", "cancels", "wall"],
+            rows,
+            title=f"contour crossing — {self.query} "
+            f"(grid={self.grid}, rho={self.rho})",
+        )
+        verdict = "OK" if self.ok else "FAIL"
+        return f"{table}\nverdict: {verdict}"
+
+
+def _sweep(bouquet, space, pic, crossing: str, tracer: Tracer) -> StrategySweep:
+    """Drive every grid location through one crossing strategy."""
+    worst_work = worst_elapsed = 0.0
+    sum_work = sum_elapsed = 0.0
+    executions = cancellations = 0
+    signature: List[Tuple] = []
+    locations = list(space.locations())
+    t0 = time.perf_counter()
+    for location in locations:
+        qa_values = space.selectivities_at(location)
+        service = AbstractExecutionService(bouquet, qa_values)
+        result = BouquetRunner(
+            bouquet, service, mode="basic", crossing=crossing, tracer=tracer
+        ).run()
+        if not result.completed:
+            raise RuntimeError(
+                f"{crossing} crossing failed to complete at {location}"
+            )
+        optimal = float(pic[location])
+        work = result.total_cost / optimal
+        elapsed = (
+            result.elapsed_cost if result.elapsed_cost is not None
+            else result.total_cost
+        ) / optimal
+        worst_work = max(worst_work, work)
+        worst_elapsed = max(worst_elapsed, elapsed)
+        sum_work += work
+        sum_elapsed += elapsed
+        executions += result.execution_count
+        if result.ledger is not None:
+            cancellations += result.ledger.cancellations
+        signature.append(
+            (
+                location,
+                round(result.total_cost, 6),
+                round(result.elapsed_cost or 0.0, 6),
+                tuple(
+                    (r.contour_index, r.plan_id, round(r.cost_spent, 6))
+                    for r in result.executions
+                ),
+            )
+        )
+    wall = time.perf_counter() - t0
+    count = len(locations)
+    return StrategySweep(
+        strategy=crossing,
+        mso_work=worst_work,
+        mso_elapsed=worst_elapsed,
+        aso_work=sum_work / count,
+        aso_elapsed=sum_elapsed / count,
+        executions=executions,
+        cancellations=cancellations,
+        wall_seconds=wall,
+        signature=tuple(signature),
+    )
+
+
+def run_sched_bench(
+    scale: float = 0.002,
+    seed: int = 7,
+    stats_sample: int = 800,
+    resolution: int = 10,
+    lambda_: float = 0.2,
+    ratio: float = 2.0,
+    tracer: Optional[Tracer] = None,
+) -> SchedBenchReport:
+    """Build the 2D lab environment and sweep all three strategies."""
+    tracer = tracer if tracer is not None else NULL_TRACER
+    schema = tpch_schema(scale)
+    database = Database.generate(schema, tpch_generator_spec(scale), seed=seed)
+    statistics = database.build_statistics(sample_size=stats_sample, seed=seed)
+    optimizer = Optimizer(schema, statistics, POSTGRES_COST_MODEL, tracer=tracer)
+    workload = tpch_workload(schema)["2D_H_Q8a"]
+    base = actual_selectivities(workload.query, database)
+    space = SelectivitySpace(
+        workload.query, workload.dimensions(), resolution, base
+    )
+    diagram = PlanDiagram.exhaustive(optimizer, space)
+    bouquet = identify_bouquet(diagram, lambda_=lambda_, ratio=ratio)
+    pic = diagram.costs
+
+    sweeps = {
+        name: _sweep(bouquet, space, pic, name, tracer) for name in STRATEGIES
+    }
+    # Determinism: an identical re-run of the time-sliced sweep must be
+    # bit-identical — same schedule, same charges, same records.
+    repeat = _sweep(bouquet, space, pic, "timesliced", tracer)
+    deterministic = repeat.signature == sweeps["timesliced"].signature
+
+    return SchedBenchReport(
+        query=workload.name,
+        grid=space.size,
+        rho=bouquet.rho,
+        ratio=ratio,
+        lambda_=lambda_,
+        sweeps=sweeps,
+        sequential_bound=crossing_mso_bound(ratio, lambda_, bouquet.rho),
+        concurrent_bound=crossing_mso_bound(
+            ratio, lambda_, bouquet.rho, concurrent=True
+        ),
+        timesliced_deterministic=deterministic,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.sched",
+        description="benchmark contour-crossing strategies (MSO + wall-clock)",
+    )
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--stats-sample", type=int, default=800)
+    parser.add_argument("--resolution", type=int, default=10)
+    parser.add_argument("--ratio", type=float, default=2.0)
+    parser.add_argument("--anorexic-lambda", type=float, default=0.2)
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report as JSON (e.g. BENCH_sched.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_sched_bench(
+        scale=args.scale,
+        seed=args.seed,
+        stats_sample=args.stats_sample,
+        resolution=args.resolution,
+        lambda_=args.anorexic_lambda,
+        ratio=args.ratio,
+    )
+    print(report.describe())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

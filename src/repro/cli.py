@@ -161,7 +161,8 @@ def _cmd_run(args) -> int:
         config = BouquetConfig(resolution=args.resolution)
         compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
     result = api_execute(
-        compiled, catalog.database, mode=args.mode, tracer=tracer
+        compiled, catalog.database, mode=args.mode, crossing=args.crossing,
+        tracer=tracer,
     )
     _finish_trace(tracer, args)
     for record in result.executions:
@@ -171,11 +172,16 @@ def _cmd_run(args) -> int:
             f"IC{record.contour_index}: P{record.plan_id} ({kind}) "
             f"spent {record.cost_spent:.1f}/{record.budget:.1f} — {status}"
         )
-    print(
-        f"result: {result.result_rows} rows, total cost {result.total_cost:.1f}, "
-        f"{result.execution_count} executions "
+    summary = (
+        f"result: {result.result_rows} rows, total cost {result.total_cost:.1f}"
+    )
+    if result.elapsed_cost is not None and result.crossing != "sequential":
+        summary += f" (elapsed {result.elapsed_cost:.1f}, {result.crossing})"
+    summary += (
+        f", {result.execution_count} executions "
         f"(guaranteed MSO <= {compiled.mso_bound:.1f})"
     )
+    print(summary)
     return 0
 
 
@@ -267,6 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--load", metavar="PATH", default=None)
     p_run.add_argument("--resolution", type=int, default=None)
     p_run.add_argument("--mode", choices=("basic", "optimized"), default="optimized")
+    p_run.add_argument(
+        "--crossing", choices=("sequential", "concurrent", "timesliced"),
+        default="sequential",
+        help="contour-crossing scheduler (non-sequential strategies imply "
+        "the basic driver for non-axis contours)",
+    )
     p_run.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write a JSONL telemetry trace of compile + execution",

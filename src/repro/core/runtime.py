@@ -68,13 +68,24 @@ class ExecutionRecord:
 
 @dataclass
 class BouquetRunResult:
-    """Complete account of one bouquet execution."""
+    """Complete account of one bouquet execution.
+
+    ``total_cost`` is the **work** currency (cost summed across every
+    execution, concurrent or not); ``elapsed_cost`` is the critical-path
+    cost-time, which only differs under
+    :class:`repro.sched.ConcurrentCrossing` where stragglers run on
+    their own cores.  ``ledger`` carries the per-contour/per-plan
+    account when a crossing strategy drove the run.
+    """
 
     total_cost: float
     executions: List[ExecutionRecord]
     final_plan_id: Optional[int]
     completed: bool
     result_rows: Optional[int] = None
+    elapsed_cost: Optional[float] = None
+    crossing: str = "sequential"
+    ledger: Optional[object] = None
 
     @property
     def execution_count(self) -> int:
@@ -92,7 +103,16 @@ class BouquetRunResult:
 
 
 class ExecutionService:
-    """What the bouquet driver needs from an execution substrate."""
+    """What the bouquet driver needs from an execution substrate.
+
+    Implementations may additionally accept a ``cancel`` keyword — a
+    cooperative cancellation token with ``should_stop(spent) -> bool``
+    (see :class:`repro.sched.CancellationToken`) — checked at budget
+    checkpoints so concurrent crossing can cut stragglers short.
+    Callers use :func:`repro.sched.strategy.call_full` /
+    :func:`~repro.sched.strategy.call_spilled`, which probe for the
+    capability, so pre-scheduler implementations keep working.
+    """
 
     def run_full(self, plan_id: int, budget: float) -> ExecutionOutcome:
         """Execute the full plan under a cost budget."""
@@ -140,14 +160,23 @@ class AbstractExecutionService(ExecutionService):
 
     # -- ExecutionService -----------------------------------------------
 
-    def run_full(self, plan_id: int, budget: float) -> ExecutionOutcome:
+    def run_full(
+        self, plan_id: int, budget: float, cancel: Optional[object] = None
+    ) -> ExecutionOutcome:
+        # ``cancel`` is accepted for protocol parity; simulated runs are
+        # instantaneous, so cost-time cancellation is applied by the
+        # scheduler's deterministic accounting instead.
         cost = self.true_cost(plan_id)
         if cost <= budget:
             return ExecutionOutcome(completed=True, cost_spent=cost)
         return ExecutionOutcome(completed=False, cost_spent=budget)
 
     def run_spilled(
-        self, plan_id: int, budget: float, unlearned_pids: FrozenSet[str]
+        self,
+        plan_id: int,
+        budget: float,
+        unlearned_pids: FrozenSet[str],
+        cancel: Optional[object] = None,
     ) -> ExecutionOutcome:
         plan = self._plan(plan_id)
         node = first_error_node(plan, unlearned_pids)
@@ -227,10 +256,21 @@ class BouquetRunner:
         equivalence_threshold: float = 0.2,
         model_error_delta: float = 0.0,
         tracer: Optional[Tracer] = None,
+        crossing: Optional[object] = None,
     ):
         """``model_error_delta`` inflates every contour budget by (1+δ),
         preserving the completion guarantee under bounded cost-modeling
-        error (§3.4) at the price of an (1+δ)² MSO factor."""
+        error (§3.4) at the price of an (1+δ)² MSO factor.
+
+        ``crossing`` selects the contour-crossing scheduler — a
+        :mod:`repro.sched` strategy name (``sequential`` / ``concurrent``
+        / ``timesliced``) or instance.  ``sequential`` (the default)
+        preserves the paper's single-core semantics; any other strategy
+        drives the contour loop through :mod:`repro.sched`, superseding
+        the spill-based ``optimized`` driver (which is inherently
+        one-plan-at-a-time)."""
+        from ..sched.strategy import resolve_crossing
+
         if mode not in ("basic", "optimized"):
             raise BouquetError(f"unknown bouquet mode {mode!r}")
         if model_error_delta < 0:
@@ -238,6 +278,7 @@ class BouquetRunner:
         self.bouquet = bouquet
         self.service = service
         self.mode = mode
+        self.crossing = resolve_crossing(crossing)
         self.equivalence_threshold = equivalence_threshold
         self.space = bouquet.space
         self.budgets = [
@@ -251,19 +292,22 @@ class BouquetRunner:
         with self.tracer.span(
             "execute.bouquet",
             mode=self.mode,
+            crossing=self.crossing.name,
             contours=len(self.bouquet.contours),
             cardinality=self.bouquet.cardinality,
         ) as span:
-            if self.mode == "basic":
-                result = self._run_basic()
-            else:
+            if self.mode == "optimized" and self.crossing.name == "sequential":
                 result = self._run_optimized()
+            else:
+                result = self._run_crossing()
             span.set(
                 total_cost=result.total_cost,
                 executions=result.execution_count,
                 completed=result.completed,
                 final_plan=result.final_plan_id,
             )
+            if result.elapsed_cost is not None:
+                span.set(elapsed_cost=result.elapsed_cost)
             return result
 
     def _trace_execution(self, record: ExecutionRecord) -> None:
@@ -282,35 +326,88 @@ class BouquetRunner:
             learned_values={l.pid: l.value for l in record.learned},
         )
 
-    # -- basic (Figure 7) -----------------------------------------------
+    # -- strategy-driven crossing (Figure 7 generalized) ----------------
 
-    def _run_basic(self) -> BouquetRunResult:
-        total = 0.0
+    def _run_crossing(self) -> BouquetRunResult:
+        """Climb the contours, delegating each crossing to the scheduler.
+
+        With :class:`~repro.sched.SequentialCrossing` this reproduces the
+        basic Figure 7 loop execution-for-execution; other strategies
+        change only *how* a contour's plans are scheduled, never which
+        contour is guaranteed to complete.  Between contours, learned
+        selectivity lower bounds from every worker are max-merged into
+        ``q_run`` (first-quadrant invariant) and used to prune plans
+        with no dominating contour location.
+        """
+        from ..sched.ledger import BudgetLedger
+        from ..sched.strategy import CrossingRequest
+
+        strategy = self.crossing
+        ledger = BudgetLedger(
+            ratio=self.bouquet.ratio,
+            lambda_=self.bouquet.lambda_,
+            rho=self.bouquet.rho,
+        )
+        dims = self.space.dimensions
+        qrun = [dim.lo for dim in dims]
+        pid_to_dim = {dim.pid: i for i, dim in enumerate(dims)}
         trace: List[ExecutionRecord] = []
         for contour, budget in zip(self.bouquet.contours, self.budgets):
-            for plan_id in contour.plan_ids:
-                outcome = self.service.run_full(plan_id, budget)
-                total += outcome.cost_spent
-                record = ExecutionRecord(
-                    contour_index=contour.index,
-                    plan_id=plan_id,
-                    spilled=False,
-                    budget=budget,
-                    cost_spent=outcome.cost_spent,
-                    completed=outcome.completed,
+            plans = self._dominating_plans(contour, qrun)
+            if not plans:
+                continue  # first-quadrant pruning: qa cannot be inside
+            account = ledger.open_contour(contour.index, budget)
+            with self.tracer.span(
+                "sched.cross",
+                strategy=strategy.name,
+                contour=contour.index,
+                plans=len(plans),
+                budget=budget,
+            ) as span:
+                crossing = strategy.cross(
+                    CrossingRequest(
+                        contour_index=contour.index,
+                        plan_ids=plans,
+                        budget=budget,
+                        service=self.service,
+                        ledger=account,
+                        tracer=self.tracer,
+                    )
                 )
+                span.set(
+                    work=account.work,
+                    elapsed=account.elapsed,
+                    winner=crossing.winner_plan_id,
+                )
+            if self.tracer.enabled:
+                self.tracer.count("sched.crossings")
+            for record in crossing.records:
                 trace.append(record)
                 self._trace_execution(record)
-                if outcome.completed:
-                    return BouquetRunResult(
-                        total_cost=total,
-                        executions=trace,
-                        final_plan_id=plan_id,
-                        completed=True,
-                        result_rows=outcome.result_rows,
-                    )
+            for learned in crossing.learned:
+                d = pid_to_dim.get(learned.pid)
+                if d is not None and learned.value > qrun[d]:
+                    qrun[d] = learned.value
+            if crossing.winner_plan_id is not None:
+                outcome = crossing.winner_outcome
+                return BouquetRunResult(
+                    total_cost=ledger.total_work,
+                    executions=trace,
+                    final_plan_id=crossing.winner_plan_id,
+                    completed=True,
+                    result_rows=outcome.result_rows if outcome else None,
+                    elapsed_cost=ledger.total_elapsed,
+                    crossing=strategy.name,
+                    ledger=ledger,
+                )
         return BouquetRunResult(
-            total_cost=total, executions=trace, final_plan_id=None, completed=False
+            total_cost=ledger.total_work,
+            executions=trace,
+            final_plan_id=None,
+            completed=False,
+            elapsed_cost=ledger.total_elapsed,
+            crossing=strategy.name,
+            ledger=ledger,
         )
 
     # -- optimized (Figure 13) ------------------------------------------

@@ -27,12 +27,16 @@ def simulate_at(
     bouquet: PlanBouquet,
     qa_location: Location,
     mode: str = "optimized",
+    crossing: Optional[str] = None,
 ) -> BouquetRunResult:
     """Simulate one bouquet execution for a query actually located at
-    ``qa_location`` (a grid index), in the cost-model world."""
+    ``qa_location`` (a grid index), in the cost-model world.
+
+    ``crossing`` picks the contour-crossing scheduler (see
+    :mod:`repro.sched`); ``None`` means sequential."""
     qa_values = bouquet.space.selectivities_at(qa_location)
     service = AbstractExecutionService(bouquet, qa_values)
-    runner = BouquetRunner(bouquet, service, mode=mode)
+    runner = BouquetRunner(bouquet, service, mode=mode, crossing=crossing)
     result = runner.run()
     if not result.completed:
         raise BouquetError(

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..catalog.schema import IndexInfo
 from ..datagen.database import Database
-from ..exceptions import BudgetExceeded, ExecutionError
+from ..exceptions import BudgetExceeded, ExecutionCancelled, ExecutionError
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..optimizer.cost_model import POSTGRES_COST_MODEL, CostModel
 from ..optimizer.plans import (
@@ -75,13 +75,17 @@ class CostPerturbation:
 
 @dataclass
 class ExecutionResult:
-    """Outcome of one engine execution."""
+    """Outcome of one engine execution.
+
+    ``cancelled`` marks a run torn down by a cooperative cancellation
+    token (scheduler checkpoint) rather than by its own budget."""
 
     completed: bool
     rows: int
     spent: float
     instrumentation: Instrumentation
     result: Optional[Batch] = None
+    cancelled: bool = False
 
 
 class ExecutionEngine:
@@ -115,6 +119,7 @@ class ExecutionEngine:
             "engine.execute",
             spilled=spilled,
             completed=result.completed,
+            cancelled=result.cancelled,
             rows=result.rows,
             spent=result.spent,
             budget=result.instrumentation.budget,
@@ -122,7 +127,9 @@ class ExecutionEngine:
         )
         tracer.count("engine.executions")
         tracer.count("engine.tuples_moved", result.instrumentation.total_tuples)
-        if not result.completed:
+        if result.cancelled:
+            tracer.count("engine.cancellations")
+        elif not result.completed:
             tracer.count("engine.budget_exhaustions")
 
     # ------------------------------------------------------------------
@@ -135,9 +142,10 @@ class ExecutionEngine:
         plan: PlanNode,
         budget: Optional[float] = None,
         collect: bool = False,
+        cancel: Optional[object] = None,
     ) -> ExecutionResult:
-        """Run ``plan`` fully (or until ``budget`` kills it)."""
-        inst = Instrumentation(budget)
+        """Run ``plan`` fully (or until ``budget`` or ``cancel`` kills it)."""
+        inst = Instrumentation(budget, cancel=cancel)
         inst.needed_columns = needed_columns(query)
         rows = 0
         collected: List[Batch] = []
@@ -146,9 +154,13 @@ class ExecutionEngine:
                 rows += batch_length(batch)
                 if collect:
                     collected.append(batch)
-        except BudgetExceeded:
+        except (BudgetExceeded, ExecutionCancelled) as exc:
             outcome = ExecutionResult(
-                completed=False, rows=rows, spent=inst.total_cost, instrumentation=inst
+                completed=False,
+                rows=rows,
+                spent=inst.total_cost,
+                instrumentation=inst,
+                cancelled=isinstance(exc, ExecutionCancelled),
             )
             self._trace_run(False, outcome)
             return outcome
@@ -169,6 +181,7 @@ class ExecutionEngine:
         plan: PlanNode,
         spill_pids,
         budget: Optional[float] = None,
+        cancel: Optional[object] = None,
     ) -> Tuple[ExecutionResult, Optional[PlanNode]]:
         """Spill-mode run: execute up to the first node evaluating one of
         ``spill_pids``, discard its output.  Returns the result and the
@@ -176,15 +189,19 @@ class ExecutionEngine:
         degenerates to a full execution)."""
         node = first_error_node(plan, frozenset(spill_pids))
         target = node if node is not None else plan
-        inst = Instrumentation(budget)
+        inst = Instrumentation(budget, cancel=cancel)
         inst.needed_columns = needed_columns(query)
         rows = 0
         try:
             for batch in self._run(target, query, inst):
                 rows += batch_length(batch)
-        except BudgetExceeded:
+        except (BudgetExceeded, ExecutionCancelled) as exc:
             outcome = ExecutionResult(
-                completed=False, rows=rows, spent=inst.total_cost, instrumentation=inst
+                completed=False,
+                rows=rows,
+                spent=inst.total_cost,
+                instrumentation=inst,
+                cancelled=isinstance(exc, ExecutionCancelled),
             )
             self._trace_run(True, outcome)
             return outcome, node

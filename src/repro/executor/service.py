@@ -11,7 +11,7 @@ the error selectivity — exact once the node finishes.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,9 +56,11 @@ class RealExecutionService(ExecutionService):
     def _plan(self, plan_id: int) -> PlanNode:
         return self.bouquet.registry.plan(plan_id)
 
-    def run_full(self, plan_id: int, budget: float) -> ExecutionOutcome:
+    def run_full(
+        self, plan_id: int, budget: float, cancel: Optional[object] = None
+    ) -> ExecutionOutcome:
         plan = self._plan(plan_id)
-        result = self.engine.execute(self.query, plan, budget=budget)
+        result = self.engine.execute(self.query, plan, budget=budget, cancel=cancel)
         self.history.append((plan_id, False, result.rows))
         return ExecutionOutcome(
             completed=result.completed,
@@ -67,11 +69,15 @@ class RealExecutionService(ExecutionService):
         )
 
     def run_spilled(
-        self, plan_id: int, budget: float, unlearned_pids: FrozenSet[str]
+        self,
+        plan_id: int,
+        budget: float,
+        unlearned_pids: FrozenSet[str],
+        cancel: Optional[object] = None,
     ) -> ExecutionOutcome:
         plan = self._plan(plan_id)
         result, node = self.engine.execute_spilled(
-            self.query, plan, unlearned_pids, budget=budget
+            self.query, plan, unlearned_pids, budget=budget, cancel=cancel
         )
         self.history.append((plan_id, True, result.rows))
         if node is None:

@@ -1,0 +1,54 @@
+"""repro.sched — pluggable contour-crossing schedulers (§5 + multi-core).
+
+The paper's multi-D guarantee MSO <= 4*(1+lambda)*rho degrades with the
+contour density rho because the run-time driver tries a contour's plans
+one after another.  Executing them *concurrently* on rho cores collapses
+the per-contour cost-time back to one budget, restoring the 1D bound
+MSO <= 4*(1+lambda) in elapsed terms.  This package makes the crossing
+policy pluggable:
+
+* :class:`SequentialCrossing` — today's behavior (the Figure 7 loop),
+  kept as the default and the reference semantics;
+* :class:`ConcurrentCrossing` — a worker pool launches every surviving
+  plan of the contour under a shared :class:`BudgetLedger`, cancels the
+  stragglers the moment one plan completes within budget, and merges
+  each worker's partial ``q_run`` observations into the first-quadrant
+  invariant before the driver climbs to the next contour;
+* :class:`TimeSlicedCrossing` — deterministic round-robin over
+  simulated-cost quanta, so single-core semantics (and tests) stay
+  bit-reproducible while still bounding per-plan head-of-line blocking.
+
+Strategies account every unit of spent cost in a :class:`BudgetLedger`
+(per-plan and per-contour), which distinguishes **work** (total cost
+charged across all workers) from **elapsed** (cost-time on the critical
+path).  The ledger feeds the MSO math in :mod:`repro.robustness.metrics`
+(:func:`~repro.robustness.metrics.crossing_mso_bound`).
+"""
+
+from .cancellation import CancellationToken
+from .ledger import BudgetLedger, ContourLedger, PlanCharge
+from .strategy import (
+    CROSSING_NAMES,
+    CrossingRequest,
+    CrossingResult,
+    CrossingStrategy,
+    resolve_crossing,
+)
+from .sequential import SequentialCrossing
+from .concurrent import ConcurrentCrossing
+from .timesliced import TimeSlicedCrossing
+
+__all__ = [
+    "BudgetLedger",
+    "CROSSING_NAMES",
+    "CancellationToken",
+    "ConcurrentCrossing",
+    "ContourLedger",
+    "CrossingRequest",
+    "CrossingResult",
+    "CrossingStrategy",
+    "PlanCharge",
+    "SequentialCrossing",
+    "TimeSlicedCrossing",
+    "resolve_crossing",
+]

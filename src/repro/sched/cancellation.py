@@ -1,0 +1,65 @@
+"""Cooperative cancellation for budget-limited executions.
+
+A :class:`CancellationToken` is handed to each concurrent contour worker
+and checked by the execution substrate at its budget checkpoints (the
+engine checks on every cost charge; see
+:meth:`repro.executor.instrumentation.Instrumentation.charge`).  Tokens
+support two triggers:
+
+* :meth:`cancel` — stop as soon as the next checkpoint is reached;
+* :meth:`cancel_at` — stop once the run's *own* spent cost crosses a
+  cap.  This is the cost-time semantics of concurrent crossing: all
+  workers progress at the same rate (one plan per core), so when the
+  winner completes at cost ``c`` every straggler is cut off at spent
+  ``c`` — even a simulated run that "executed" instantly charges at
+  most ``c`` to the ledger.
+
+The token is duck-typed on purpose: the executor layer only calls
+``should_stop(spent)``, so it never needs to import this package and
+the layering (``sched`` above ``executor``) stays acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancellation flag with an optional cost cap."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._cost_cap: Optional[float] = None
+
+    def cancel(self) -> None:
+        """Request an immediate stop at the next checkpoint."""
+        with self._lock:
+            self._cancelled = True
+
+    def cancel_at(self, cost_cap: float) -> None:
+        """Request a stop once the run's own spent cost reaches ``cost_cap``.
+
+        Repeated calls keep the smallest cap (the earliest winner wins).
+        """
+        with self._lock:
+            if self._cost_cap is None or cost_cap < self._cost_cap:
+                self._cost_cap = float(cost_cap)
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            return self._cancelled
+
+    @property
+    def cost_cap(self) -> Optional[float]:
+        with self._lock:
+            return self._cost_cap
+
+    def should_stop(self, spent: float) -> bool:
+        """The executor-side checkpoint: stop this run now?"""
+        with self._lock:
+            if self._cancelled:
+                return True
+            return self._cost_cap is not None and spent >= self._cost_cap

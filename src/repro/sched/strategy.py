@@ -1,0 +1,166 @@
+"""The crossing-strategy protocol and registry.
+
+A crossing strategy answers one question: *given the surviving plans of
+one isocost contour and its budget, how are their executions scheduled?*
+The driver (:class:`repro.core.runtime.BouquetRunner`) owns everything
+else — contour climbing, first-quadrant pruning, ``q_run`` merging — so
+strategies stay small and composable.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Type, Union
+
+from ..core.runtime import ExecutionOutcome, ExecutionRecord, ExecutionService
+from ..exceptions import BouquetError
+from ..obs.tracer import NULL_TRACER, Tracer
+from .ledger import ContourLedger
+
+
+@dataclass
+class CrossingRequest:
+    """Everything a strategy needs to cross one contour.
+
+    ``plan_ids`` are the surviving (first-quadrant dominating) plans in
+    deterministic (ascending id) order; ``ledger`` is the contour's
+    account on the shared :class:`~repro.sched.ledger.BudgetLedger`.
+    """
+
+    contour_index: int
+    plan_ids: Sequence[int]
+    budget: float
+    service: ExecutionService
+    ledger: ContourLedger
+    tracer: Tracer = NULL_TRACER
+
+
+@dataclass
+class CrossingResult:
+    """What one contour crossing produced.
+
+    ``winner_plan_id`` is set iff some plan completed the query within
+    the contour budget (in cost-time: the *earliest* completer).  All
+    ``learned`` selectivity lower bounds — including those harvested
+    from cancelled stragglers — are merged into ``q_run`` by the driver
+    before it climbs to the next contour.
+    """
+
+    records: List[ExecutionRecord] = field(default_factory=list)
+    winner_plan_id: Optional[int] = None
+    winner_outcome: Optional[ExecutionOutcome] = None
+    learned: List = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.winner_plan_id is not None
+
+
+class CrossingStrategy:
+    """Schedules the executions that cross one isocost contour."""
+
+    #: Registry name; also reported in ``sched.cross`` spans.
+    name: str = "?"
+
+    def cross(self, request: CrossingRequest) -> CrossingResult:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Tolerant service invocation
+# ---------------------------------------------------------------------------
+#
+# ExecutionService implementations predating the scheduler (including
+# user-supplied fakes in tests) may not accept the ``cancel`` keyword;
+# probe the signature once per service type instead of failing.
+
+_CANCEL_SUPPORT: Dict[type, bool] = {}
+
+
+def _accepts_cancel(service: ExecutionService) -> bool:
+    kind = type(service)
+    cached = _CANCEL_SUPPORT.get(kind)
+    if cached is None:
+        try:
+            params = inspect.signature(kind.run_full).parameters
+            cached = "cancel" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            )
+        except (TypeError, ValueError):  # builtins / exotic callables
+            cached = False
+        _CANCEL_SUPPORT[kind] = cached
+    return cached
+
+
+def call_full(
+    service: ExecutionService,
+    plan_id: int,
+    budget: float,
+    cancel: Optional[object] = None,
+) -> ExecutionOutcome:
+    """``service.run_full`` with the cancel token when supported."""
+    if cancel is not None and _accepts_cancel(service):
+        return service.run_full(plan_id, budget, cancel=cancel)
+    return service.run_full(plan_id, budget)
+
+
+def call_spilled(
+    service: ExecutionService,
+    plan_id: int,
+    budget: float,
+    unlearned_pids: FrozenSet[str],
+    cancel: Optional[object] = None,
+) -> ExecutionOutcome:
+    """``service.run_spilled`` with the cancel token when supported."""
+    if cancel is not None and _accepts_cancel(service):
+        return service.run_spilled(plan_id, budget, unlearned_pids, cancel=cancel)
+    return service.run_spilled(plan_id, budget, unlearned_pids)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[CrossingStrategy]] = {}
+
+
+def register_crossing(cls: Type[CrossingStrategy]) -> Type[CrossingStrategy]:
+    """Class decorator: make a strategy selectable by its ``name``."""
+    if not cls.name or cls.name == "?":
+        raise BouquetError("crossing strategy must define a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def crossing_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def resolve_crossing(
+    crossing: Union[str, CrossingStrategy, None],
+) -> CrossingStrategy:
+    """Turn a config value into a strategy instance.
+
+    Accepts a registry name, an already-built strategy (passed through,
+    so callers can tune worker counts / quanta), or ``None`` (the
+    sequential default).
+    """
+    # Imported for the side effect of registering the built-in strategies.
+    from . import concurrent, sequential, timesliced  # noqa: F401
+
+    if crossing is None:
+        crossing = "sequential"
+    if isinstance(crossing, CrossingStrategy):
+        return crossing
+    cls = _REGISTRY.get(crossing)
+    if cls is None:
+        raise BouquetError(
+            f"unknown crossing strategy {crossing!r} "
+            f"(expected one of {crossing_names()})"
+        )
+    return cls()
+
+
+#: The stable strategy names (used by config validation and the CLI).
+CROSSING_NAMES = ("sequential", "concurrent", "timesliced")

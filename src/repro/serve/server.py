@@ -237,6 +237,7 @@ class BouquetServer:
         *,
         budget: Optional[float] = None,
         mode: Optional[str] = None,
+        crossing: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> ServeResult:
         """Answer one query end to end.
@@ -246,6 +247,11 @@ class BouquetServer:
         failures, deadlines, and budget exhaustion are reported in the
         :class:`ServeResult` status, and the NAT fallback is attempted
         before giving up.
+
+        ``crossing`` overrides the server config's contour-crossing
+        strategy for this one request (``"sequential"``,
+        ``"concurrent"``, or ``"timesliced"`` — see :mod:`repro.sched`);
+        it is a runtime knob, so it never affects the artifact cache key.
         """
         if self.catalog.database is None:
             raise BouquetError("serving requires a catalog with a database")
@@ -275,6 +281,7 @@ class BouquetServer:
                     self.catalog.database,
                     budget=budget,
                     mode=mode,
+                    crossing=crossing,
                     tracer=tracer,
                     span_name="serve.execute",
                 )

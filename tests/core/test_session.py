@@ -106,3 +106,21 @@ class TestPersistence:
             json.dump({"format": "not.a.bouquet"}, handle)
         with pytest.raises(BouquetError):
             CompiledQuery.load(path, session, parse_query(EQ_SQL, schema))
+
+
+class TestDeprecationShim:
+    def test_warning_points_at_the_caller(self, schema, statistics):
+        """The shim warns with stacklevel=2, so the reported location is
+        the *caller's* construction site, not session.py internals."""
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            BouquetSession(schema, statistics=statistics)  # this line
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        warning = deprecations[0]
+        assert "BouquetSession is deprecated" in str(warning.message)
+        assert warning.filename == __file__

@@ -1,0 +1,11 @@
+"""Fixtures for the contour-crossing scheduler tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def q8a(lab):
+    """The 2D run-time query lab (rho > 1: concurrency has teeth)."""
+    return lab.build("2D_H_Q8a")

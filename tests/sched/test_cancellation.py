@@ -1,0 +1,104 @@
+"""Cancellation token semantics and the engine's budget-checkpoint hook."""
+
+import pytest
+
+from repro.exceptions import ExecutionCancelled
+from repro.executor import ExecutionEngine
+from repro.executor.instrumentation import Instrumentation
+from repro.optimizer import SeqScan
+from repro.query import parse_query
+from repro.sched import CancellationToken
+
+
+class TestCancellationToken:
+    def test_fresh_token_never_stops(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        assert token.cost_cap is None
+        assert not token.should_stop(0.0)
+        assert not token.should_stop(1e12)
+
+    def test_cancel_stops_at_next_checkpoint(self):
+        token = CancellationToken()
+        token.cancel()
+        assert token.cancelled
+        assert token.should_stop(0.0)
+
+    def test_cancel_at_caps_own_spent_cost(self):
+        token = CancellationToken()
+        token.cancel_at(100.0)
+        assert not token.should_stop(99.9)
+        assert token.should_stop(100.0)
+        assert token.should_stop(200.0)
+
+    def test_repeated_caps_keep_the_smallest(self):
+        """The earliest winner's completion cost wins."""
+        token = CancellationToken()
+        token.cancel_at(100.0)
+        token.cancel_at(250.0)
+        token.cancel_at(40.0)
+        assert token.cost_cap == pytest.approx(40.0)
+
+
+class TestInstrumentationCheckpoint:
+    def test_charge_raises_when_token_fires(self):
+        class Node:
+            def signature(self):
+                return "fake"
+
+        token = CancellationToken()
+        token.cancel_at(5.0)
+        inst = Instrumentation(budget=100.0, cancel=token)
+        inst.charge(Node(), 3.0)  # below the cap: survives
+        with pytest.raises(ExecutionCancelled) as info:
+            inst.charge(Node(), 3.0)  # crosses 5.0
+        assert info.value.spent == pytest.approx(6.0)
+
+    def test_no_token_no_overhead_path(self):
+        class Node:
+            def signature(self):
+                return "fake"
+
+        inst = Instrumentation(budget=100.0)
+        inst.charge(Node(), 50.0)
+        assert inst.total_cost == pytest.approx(50.0)
+
+
+class TestEngineCancellation:
+    def test_pre_cancelled_run_stops_early(self, database, schema):
+        query = parse_query("select * from lineitem", schema)
+        engine = ExecutionEngine(database)
+        baseline = engine.execute(query, SeqScan("lineitem"))
+        assert baseline.completed
+
+        token = CancellationToken()
+        token.cancel()
+        result = engine.execute(query, SeqScan("lineitem"), cancel=token)
+        assert result.cancelled
+        assert not result.completed
+        assert result.spent < baseline.spent
+
+    def test_cost_cap_bounds_spend(self, database, schema):
+        query = parse_query("select * from lineitem", schema)
+        engine = ExecutionEngine(database)
+        baseline = engine.execute(query, SeqScan("lineitem"))
+        cap = baseline.spent / 2.0
+
+        token = CancellationToken()
+        token.cancel_at(cap)
+        result = engine.execute(query, SeqScan("lineitem"), cancel=token)
+        assert result.cancelled and not result.completed
+        # Overshoot is bounded by one batch's charge, not the whole run.
+        assert result.spent < baseline.spent
+
+    def test_uncancelled_token_changes_nothing(self, database, schema):
+        query = parse_query("select * from lineitem", schema)
+        engine = ExecutionEngine(database)
+        plain = engine.execute(query, SeqScan("lineitem"))
+        tokened = engine.execute(
+            query, SeqScan("lineitem"), cancel=CancellationToken()
+        )
+        assert tokened.completed
+        assert not tokened.cancelled
+        assert tokened.rows == plain.rows
+        assert tokened.spent == pytest.approx(plain.spent)

@@ -1,0 +1,119 @@
+"""Tests for the budget ledger: charging, validation, MSO math."""
+
+import pytest
+
+from repro.exceptions import BouquetError
+from repro.robustness.metrics import crossing_mso_bound
+from repro.sched import BudgetLedger
+
+
+def make_ledger(ratio=2.0, lambda_=0.2, rho=3):
+    return BudgetLedger(ratio=ratio, lambda_=lambda_, rho=rho)
+
+
+class TestContourLedger:
+    def test_charges_accumulate_per_plan(self):
+        ledger = make_ledger()
+        account = ledger.open_contour(1, budget=100.0)
+        account.charge(7, 30.0)
+        account.charge(7, 20.0)
+        account.charge(9, 100.0, completed=True)
+        assert account.charges[7].work == pytest.approx(50.0)
+        assert account.charges[9].completed
+        assert account.work == pytest.approx(150.0)
+        assert account.executions == 2
+
+    def test_negative_charge_rejected(self):
+        account = make_ledger().open_contour(1, budget=10.0)
+        with pytest.raises(BouquetError):
+            account.charge(1, -0.5)
+
+    def test_per_plan_overdraft_rejected(self):
+        """No plan may be charged beyond the contour budget — the
+        doubling guarantee rests on that."""
+        account = make_ledger().open_contour(2, budget=10.0)
+        account.charge(1, 10.0)  # exactly the budget: fine
+        with pytest.raises(BouquetError):
+            account.charge(1, 1.0)
+
+    def test_elapsed_validation(self):
+        account = make_ledger().open_contour(1, budget=10.0)
+        account.charge(1, 4.0)
+        account.charge(2, 6.0)
+        account.set_elapsed(6.0)
+        assert account.elapsed == pytest.approx(6.0)
+        with pytest.raises(BouquetError):
+            account.set_elapsed(-1.0)
+        with pytest.raises(BouquetError):
+            account.set_elapsed(10.001)  # exceeds total work
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(BouquetError):
+            make_ledger().open_contour(1, budget=0.0)
+
+
+class TestBudgetLedger:
+    def test_totals_and_cancellations(self):
+        ledger = make_ledger()
+        first = ledger.open_contour(1, budget=10.0)
+        first.charge(1, 10.0)
+        first.charge(2, 10.0, cancelled=True)
+        first.set_elapsed(10.0)
+        second = ledger.open_contour(2, budget=20.0)
+        second.charge(3, 12.0, completed=True)
+        second.set_elapsed(12.0)
+        assert ledger.total_work == pytest.approx(32.0)
+        assert ledger.total_elapsed == pytest.approx(22.0)
+        assert ledger.cancellations == 1
+        assert "IC1" in ledger.describe()
+
+    def test_suboptimality_currencies(self):
+        ledger = make_ledger()
+        account = ledger.open_contour(1, budget=8.0)
+        account.charge(1, 8.0)
+        account.charge(2, 6.0, completed=True)
+        account.set_elapsed(6.0)
+        assert ledger.work_suboptimality(2.0) == pytest.approx(7.0)
+        assert ledger.elapsed_suboptimality(2.0) == pytest.approx(3.0)
+        with pytest.raises(BouquetError):
+            ledger.work_suboptimality(0.0)
+
+    def test_analytical_bound_matches_metrics(self):
+        ledger = make_ledger(ratio=2.0, lambda_=0.2, rho=3)
+        assert ledger.analytical_bound() == pytest.approx(
+            crossing_mso_bound(2.0, 0.2, 3)
+        )
+        assert ledger.analytical_bound(concurrent=True) == pytest.approx(
+            crossing_mso_bound(2.0, 0.2, 3, concurrent=True)
+        )
+        # The rho factor is exactly what concurrency collapses.
+        assert ledger.analytical_bound() == pytest.approx(
+            3 * ledger.analytical_bound(concurrent=True)
+        )
+
+    def test_assert_within_bound(self):
+        ledger = make_ledger(ratio=2.0, lambda_=0.0, rho=1)  # bound = 4
+        account = ledger.open_contour(1, budget=100.0)
+        account.charge(1, 100.0, completed=True)
+        account.set_elapsed(100.0)
+        ledger.assert_within_bound(optimal_cost=50.0)  # subopt 2 <= 4
+        with pytest.raises(BouquetError):
+            ledger.assert_within_bound(optimal_cost=10.0)  # subopt 10 > 4
+
+
+class TestCrossingMsoBound:
+    def test_paper_values_at_r2(self):
+        # Theorem 3 at r=2: 4*(1+lambda)*rho; concurrency drops the rho.
+        assert crossing_mso_bound(2.0, 0.0, 1) == pytest.approx(4.0)
+        assert crossing_mso_bound(2.0, 0.2, 5) == pytest.approx(24.0)
+        assert crossing_mso_bound(2.0, 0.2, 5, concurrent=True) == pytest.approx(4.8)
+
+    def test_input_validation(self):
+        from repro.exceptions import EssError
+
+        with pytest.raises(EssError):
+            crossing_mso_bound(1.0, 0.2, 1)
+        with pytest.raises(EssError):
+            crossing_mso_bound(2.0, -0.1, 1)
+        with pytest.raises(EssError):
+            crossing_mso_bound(2.0, 0.2, 0)

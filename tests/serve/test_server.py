@@ -215,3 +215,18 @@ def test_server_over_disk_store(catalog, small_config, tmp_path):
         warm = server.serve(SQL)
         assert warm.cache == "disk"
         assert warm.rows == first.rows
+
+
+def test_per_request_crossing_override(server):
+    """The crossing knob is per-request and cache-neutral: both requests
+    share one compiled artifact, the second runs concurrently."""
+    plain = server.serve(SQL)
+    assert plain.status == "ok" and plain.cache == "compiled"
+    assert plain.result.crossing == "sequential"
+
+    fast = server.serve(SQL, crossing="concurrent")
+    assert fast.status == "ok"
+    assert fast.cache == "memory"  # same artifact, runtime knob only
+    assert fast.result.crossing == "concurrent"
+    assert fast.rows == plain.rows
+    assert fast.result.elapsed_cost <= fast.result.total_cost * (1 + 1e-9)
