@@ -11,6 +11,9 @@
 #   make ci           lint + the tier-1 pytest suite, in one gate
 #   make bench-sched  benchmark the contour-crossing schedulers; writes
 #                     BENCH_sched.json and fails on any acceptance miss
+#   make bench-sweep  race the cohort sweep engine against the reference
+#                     per-location driver; writes BENCH_sweep.json and
+#                     fails under 5x speedup or above 1e-9 field error
 #   make bench        regenerate every paper table/figure
 #   make experiments  bench + rebuild EXPERIMENTS.md
 #   make examples     run the example scripts end to end
@@ -19,7 +22,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check ci bench-sched bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -40,11 +43,20 @@ serve-smoke:
 
 check: lint serve-smoke
 
-ci: lint
+ci: lint sweep-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench-sched:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.sched --out BENCH_sched.json
+
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.sweep --out BENCH_sweep.json
+
+# Small-grid sanity pass of the sweep bench (equality gate only; the
+# tiny grid cannot amortize batching, so no speedup floor is enforced).
+sweep-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.sweep --resolution 5 \
+		--stats-sample 600 --sample 25 --min-speedup 0.0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

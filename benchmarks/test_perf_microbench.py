@@ -51,7 +51,7 @@ def test_perf_vectorized_cost_field(benchmark, env):
     plan_id = ql.diagram.posp_plan_ids[0]
 
     def kernel():
-        cache._arrays.pop(plan_id, None)  # defeat the memo
+        cache.invalidate(plan_id)  # defeat the memo
         return cache.cost_array(plan_id)
 
     array = benchmark(kernel)
@@ -83,3 +83,22 @@ def test_perf_engine_hash_join(benchmark, env):
 
     result = benchmark(lambda: engine.execute(query, plan))
     assert result.completed
+
+
+def test_perf_sweep_engine_field(benchmark, env):
+    """The full optimized cost field via the cohort sweep engine.
+
+    Guards the vectorized sweep kernel: one cold sweep of the 3D grid
+    (totals memo defeated each round so the cohort machinery, not the
+    result cache, is measured)."""
+    from repro.sweep import SweepEngine
+
+    _, ql, _ = env
+    engine = SweepEngine(ql.bouquet)
+
+    def kernel():
+        return engine.cost_field(refresh=True)
+
+    field = benchmark(kernel)
+    assert field.shape == ql.space.shape
+    assert (field > 0).all()

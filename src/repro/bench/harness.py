@@ -56,6 +56,7 @@ class QueryLab:
     nat: NativeOptimizerStrategy
     _seer: Optional[SeerStrategy] = None
     _basic_field: Optional[np.ndarray] = None
+    _optimized_field: Optional[np.ndarray] = None
 
     @property
     def name(self) -> str:
@@ -73,6 +74,20 @@ class QueryLab:
         if self._basic_field is None:
             self._basic_field = basic_cost_field(self.bouquet)
         return self._basic_field
+
+    @property
+    def optimized_cost_field(self) -> np.ndarray:
+        """Optimized-bouquet total cost at every qa (cached).
+
+        Computed by the vectorized sweep engine (:mod:`repro.sweep`);
+        the grid-shaped counterpart of :attr:`bouquet_cost_field` for
+        the Figure 13 driver.
+        """
+        if self._optimized_field is None:
+            from ..sweep import optimized_field_array
+
+            self._optimized_field = optimized_field_array(self.bouquet)
+        return self._optimized_field
 
     @property
     def pic(self) -> np.ndarray:

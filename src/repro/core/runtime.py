@@ -285,6 +285,10 @@ class BouquetRunner:
             budget * (1.0 + model_error_delta) for budget in bouquet.budgets
         ]
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # q_run advances monotonically but revisits the same point many
+        # times within a contour (candidate ranking, fallback ordering,
+        # crossing checks), so plan costs at a point are memoized.
+        self._point_costs: Dict[Tuple[int, Tuple[float, ...]], float] = {}
 
     # ------------------------------------------------------------------
 
@@ -586,7 +590,12 @@ class BouquetRunner:
     # -- helpers ---------------------------------------------------------
 
     def _cost_at_values(self, plan_id: int, values: Sequence[float]) -> float:
-        return self.bouquet.cost_cache.cost_at_values(plan_id, values)
+        key = (plan_id, tuple(values))
+        cost = self._point_costs.get(key)
+        if cost is None:
+            cost = self.bouquet.cost_cache.cost_at_values(plan_id, values)
+            self._point_costs[key] = cost
+        return cost
 
     def _cheapest_plan(self, plan_ids: Sequence[int], values: Sequence[float]) -> int:
         return min(plan_ids, key=lambda pid: self._cost_at_values(pid, values))

@@ -3,8 +3,10 @@
 The robustness metrics (MSO/ASO/MaxHarm) need the bouquet's total
 execution cost at *every* possible actual location ``qa``.  For the basic
 algorithm this cost field is computed fully vectorized; the optimized
-algorithm is driven per-location (optionally on a sample for very large
-grids) through :class:`~repro.core.runtime.BouquetRunner`.
+algorithm defaults to the vectorized cohort sweep engine in
+:mod:`repro.sweep` with the original per-location
+:class:`~repro.core.runtime.BouquetRunner` loop kept as the
+``engine="reference"`` ground truth.
 """
 
 from __future__ import annotations
@@ -78,17 +80,40 @@ def basic_cost_field(bouquet: PlanBouquet) -> np.ndarray:
 def optimized_cost_field(
     bouquet: PlanBouquet,
     locations: Optional[Iterable[Location]] = None,
+    crossing: Optional[str] = None,
+    engine: str = "sweep",
+    workers: Optional[int] = None,
 ) -> Dict[Location, float]:
-    """Optimized-bouquet total cost per location (per-location driver).
+    """Optimized-bouquet total cost per location.
 
     ``locations`` defaults to the whole grid; pass a sample for very
-    large spaces.
+    large spaces.  ``crossing`` picks the contour-crossing scheduler
+    (see :mod:`repro.sched`); ``None`` means sequential.
+
+    ``engine`` selects the evaluation strategy: ``"sweep"`` (default)
+    uses the vectorized cohort engine in :mod:`repro.sweep` and memoizes
+    results on the bouquet; ``"reference"`` keeps the original
+    per-location driver loop (the ground truth the sweep engine is
+    benchmarked against).  ``workers`` pool-shards the sweep residue.
     """
+    if engine == "sweep":
+        # Imported lazily: repro.sweep itself leans on this module's
+        # reference path for residue locations.
+        from ..sweep import sweep_cost_field
+
+        return sweep_cost_field(
+            bouquet, locations=locations, crossing=crossing, workers=workers
+        )
+    if engine != "reference":
+        raise BouquetError(
+            f"unknown optimized_cost_field engine {engine!r} "
+            "(expected 'sweep' or 'reference')"
+        )
     if locations is None:
         locations = list(bouquet.space.locations())
     field: Dict[Location, float] = {}
     for location in locations:
-        result = simulate_at(bouquet, location, mode="optimized")
+        result = simulate_at(bouquet, location, mode="optimized", crossing=crossing)
         field[location] = result.total_cost
     return field
 

@@ -11,6 +11,8 @@ how high-dimensional spaces stay tractable.
 from __future__ import annotations
 
 import itertools
+import threading
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -27,6 +29,12 @@ class PlanCostCache:
     ``cost(plan_id, location)`` and ``cost_array(plan_id)`` evaluate the
     plan's (abstract) cost function at grid locations, memoizing whole
     arrays per plan — the workhorse behind every ESS-wide metric sweep.
+
+    The cache is thread-safe (the serving layer and the sweep engine's
+    residue pool both share bouquets across threads) and optionally
+    bounded: with ``max_plans`` set, the least-recently-used arrays are
+    evicted once the limit is exceeded.  Stale entries can be dropped
+    explicitly with :meth:`invalidate`.
     """
 
     def __init__(
@@ -34,11 +42,28 @@ class PlanCostCache:
         space: SelectivitySpace,
         optimizer: Optimizer,
         registry: PlanRegistry,
+        max_plans: Optional[int] = None,
     ):
+        if max_plans is not None and max_plans < 1:
+            raise EssError("PlanCostCache max_plans must be >= 1")
         self.space = space
         self.optimizer = optimizer
         self.registry = registry
-        self._arrays: Dict[int, np.ndarray] = {}
+        self.max_plans = max_plans
+        self._arrays: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._arrays)
+
+    def invalidate(self, plan_id: Optional[int] = None) -> None:
+        """Drop the cached array for one plan (or all of them)."""
+        with self._lock:
+            if plan_id is None:
+                self._arrays.clear()
+            else:
+                self._arrays.pop(plan_id, None)
 
     def cost_array(self, plan_id: int) -> np.ndarray:
         """Full grid of costs for one plan (shape = space.shape).
@@ -48,22 +73,36 @@ class PlanCostCache:
         (purely arithmetic, monotone) cost formulas evaluate elementwise
         over the whole ESS at once.
         """
-        array = self._arrays.get(plan_id)
-        if array is None:
-            tracer = self.optimizer.tracer
-            if tracer.enabled:
-                tracer.count("ess.cost_array_builds")
-            plan = self.registry.plan(plan_id)
-            space = self.space
-            assignment: Dict[str, object] = dict(space.base_assignment)
-            meshes = np.meshgrid(*space.grids, indexing="ij")
-            for dim, mesh in zip(space.dimensions, meshes):
-                assignment[dim.pid] = mesh
-            est = cost_plan(
-                plan, self.optimizer.schema, self.optimizer.cost_model, assignment
-            )
-            array = np.broadcast_to(np.asarray(est.cost, dtype=float), space.shape).copy()
+        with self._lock:
+            array = self._arrays.get(plan_id)
+            if array is not None:
+                self._arrays.move_to_end(plan_id)
+                return array
+        # Built outside the lock: cost_plan is pure and two racing
+        # builders produce identical arrays, so losing the race only
+        # wastes one build.
+        tracer = self.optimizer.tracer
+        if tracer.enabled:
+            tracer.count("ess.cost_array_builds")
+        plan = self.registry.plan(plan_id)
+        space = self.space
+        assignment: Dict[str, object] = dict(space.base_assignment)
+        meshes = np.meshgrid(*space.grids, indexing="ij")
+        for dim, mesh in zip(space.dimensions, meshes):
+            assignment[dim.pid] = mesh
+        est = cost_plan(
+            plan, self.optimizer.schema, self.optimizer.cost_model, assignment
+        )
+        array = np.broadcast_to(np.asarray(est.cost, dtype=float), space.shape).copy()
+        with self._lock:
+            existing = self._arrays.get(plan_id)
+            if existing is not None:
+                self._arrays.move_to_end(plan_id)
+                return existing
             self._arrays[plan_id] = array
+            if self.max_plans is not None:
+                while len(self._arrays) > self.max_plans:
+                    self._arrays.popitem(last=False)
         return array
 
     def cost(self, plan_id: int, location: Location) -> float:

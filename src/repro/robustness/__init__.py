@@ -9,6 +9,8 @@ from .metrics import (
     harm_fraction,
     max_harm,
     mso,
+    optimized_bouquet_metrics,
+    optimized_field,
     robustness_enhancement,
     subopt_worst_field,
 )
@@ -25,6 +27,8 @@ __all__ = [
     "harm_fraction",
     "max_harm",
     "mso",
+    "optimized_bouquet_metrics",
+    "optimized_field",
     "robustness_enhancement",
     "subopt_worst_field",
     "NativeOptimizerStrategy",

@@ -97,6 +97,40 @@ def crossing_mso_bound(
     return base if concurrent else base * float(rho)
 
 
+def optimized_field(bouquet, crossing=None, workers=None) -> np.ndarray:
+    """Grid-shaped optimized-bouquet cost field via the sweep engine.
+
+    The ndarray counterpart of
+    :func:`repro.core.simulation.optimized_cost_field` — feed it straight
+    into :func:`bouquet_mso` / :func:`bouquet_aso` / :func:`max_harm`.
+    Results are memoized on the bouquet, so computing several metrics
+    costs one sweep.
+    """
+    from ..sweep import optimized_field_array
+
+    return optimized_field_array(bouquet, crossing=crossing, workers=workers)
+
+
+def optimized_bouquet_metrics(
+    bouquet,
+    pic: np.ndarray,
+    nat_subopt_worst: np.ndarray = None,
+    crossing=None,
+    workers=None,
+) -> Dict[str, float]:
+    """MSO/ASO (and MaxHarm given a native baseline) for the optimized
+    bouquet, swept in one pass over the ESS."""
+    field = optimized_field(bouquet, crossing=crossing, workers=workers)
+    metrics = {
+        "mso": bouquet_mso(field, pic),
+        "aso": bouquet_aso(field, pic),
+    }
+    if nat_subopt_worst is not None:
+        metrics["max_harm"] = max_harm(field, pic, nat_subopt_worst)
+        metrics["harm_fraction"] = harm_fraction(field, pic, nat_subopt_worst)
+    return metrics
+
+
 def bouquet_mso(bouquet_cost_field: np.ndarray, pic: np.ndarray) -> float:
     return float((bouquet_cost_field / pic).max())
 

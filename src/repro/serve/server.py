@@ -223,6 +223,35 @@ class BouquetServer:
         compiled = future.result(timeout=timeout)
         return compiled, ("compiled" if owner else "coalesced")
 
+    def warm_sweep(
+        self,
+        query: Union[str, Query],
+        crossing: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Compile ``query`` (or reuse the cached artifact) and pre-sweep
+        its optimized cost field with the vectorized engine
+        (:mod:`repro.sweep`).
+
+        The field — and the engine's contour tables and trace trie — are
+        memoized on the compiled bouquet, so later metric or diagnostics
+        requests against the same artifact are answered from cache.
+        Returns the grid-shaped cost field.
+        """
+        compiled, source = self.compile(query, timeout=timeout)
+        from ..sweep import SweepEngine
+
+        engine = SweepEngine(
+            compiled.bouquet, crossing=crossing, tracer=self.tracer
+        )
+        with self.tracer.span(
+            "serve.warm_sweep", source=source, crossing=engine.crossing.name
+        ):
+            field = engine.cost_field()
+        if self.tracer.enabled:
+            self.tracer.count("serve.warm_sweeps")
+        return field
+
     def _retire(self, digest: str) -> None:
         with self._lock:
             self._inflight.pop(digest, None)

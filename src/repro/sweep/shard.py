@@ -1,0 +1,129 @@
+"""Process-pool sharding for the sweep residue.
+
+Cohort batching thrives on homogeneous regions; the residue — cohorts
+that split below the batching threshold, or whole sweeps under a
+non-sequential crossing strategy (whose scheduling is inherently
+per-location) — is driven through the reference per-location runner.
+With ``workers > 1`` the residue is chunked across a process pool,
+mirroring the spawn-fallback hardening of
+:func:`repro.ess.diagram._parallel_optimize`: ``fork`` is preferred so
+workers inherit the bouquet for free; otherwise an *explicit* ``spawn``
+context is used and the initializer arguments are verified to survive a
+pickle round trip before any worker starts, so an unpicklable bouquet
+fails fast in the parent instead of crashing inside the pool machinery.
+Chunk results stream back through ``imap`` so a worker failure surfaces
+at the first affected chunk.
+
+Workers never trace (a forked sink would interleave into the parent's
+file; a spawned tracer already degraded to the null tracer while
+pickling) — the parent records the fan-out instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bouquet import PlanBouquet
+from ..ess.space import Location
+from ..exceptions import BouquetError
+from ..obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["run_residue", "simulate_total"]
+
+_WORKER_STATE: dict = {}
+
+
+def simulate_total(
+    bouquet: PlanBouquet, location: Location, crossing: Optional[str] = None
+) -> float:
+    """Reference per-location total: one full optimized-bouquet run."""
+    from ..core.runtime import AbstractExecutionService, BouquetRunner
+
+    qa_values = bouquet.space.selectivities_at(location)
+    service = AbstractExecutionService(bouquet, qa_values)
+    runner = BouquetRunner(bouquet, service, mode="optimized", crossing=crossing)
+    result = runner.run()
+    if not result.completed:
+        raise BouquetError(
+            f"bouquet failed to complete at {location} — contour coverage bug"
+        )
+    return result.total_cost
+
+
+def _init_sweep_worker(bouquet: PlanBouquet, crossing: Optional[str]):
+    # See module docstring: residue workers run untraced.
+    bouquet.cost_cache.optimizer.tracer = NULL_TRACER
+    _WORKER_STATE["bouquet"] = bouquet
+    _WORKER_STATE["crossing"] = crossing
+
+
+def _residue_chunk(locations: List[Location]) -> List[Tuple[Location, float]]:
+    bouquet = _WORKER_STATE["bouquet"]
+    crossing = _WORKER_STATE["crossing"]
+    return [
+        (location, simulate_total(bouquet, location, crossing))
+        for location in locations
+    ]
+
+
+def run_residue(
+    bouquet: PlanBouquet,
+    locations: Sequence[Location],
+    crossing: Optional[str] = None,
+    workers: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> Dict[Location, float]:
+    """Per-location totals for the residue, optionally pool-sharded."""
+    locations = list(locations)
+    if not locations:
+        return {}
+    if not workers or workers <= 1 or len(locations) == 1:
+        return {
+            location: simulate_total(bouquet, location, crossing)
+            for location in locations
+        }
+
+    import multiprocessing as mp
+    import pickle
+
+    # The per-bouquet sweep cache is a parent-side acceleration structure;
+    # workers rebuild nothing from it, so ship a lean copy instead.
+    payload = dataclasses.replace(bouquet)
+    chunk_size = max(1, len(locations) // (workers * 4))
+    chunks = [
+        locations[i : i + chunk_size]
+        for i in range(0, len(locations), chunk_size)
+    ]
+    if "fork" in mp.get_all_start_methods():
+        ctx = mp.get_context("fork")
+    else:
+        ctx = mp.get_context("spawn")
+        try:
+            restored = pickle.loads(pickle.dumps((payload, crossing)))
+        except Exception as exc:
+            raise BouquetError(
+                "sweep residue sharding needs a picklable PlanBouquet "
+                f"under the spawn start method: {exc}"
+            ) from exc
+        if len(restored) != 2:
+            raise BouquetError("initargs pickle round trip lost arguments")
+    if tracer.enabled:
+        tracer.event(
+            "sweep.residue_fanout",
+            workers=workers,
+            chunks=len(chunks),
+            locations=len(locations),
+        )
+        tracer.observe(
+            "sweep.worker_utilization", min(len(chunks), workers) / workers
+        )
+    totals: Dict[Location, float] = {}
+    with ctx.Pool(
+        processes=workers,
+        initializer=_init_sweep_worker,
+        initargs=(payload, crossing),
+    ) as pool:
+        for chunk_result in pool.imap(_residue_chunk, chunks):
+            totals.update(chunk_result)
+    return totals

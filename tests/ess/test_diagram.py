@@ -81,6 +81,64 @@ class TestCostCache:
         plan_id = eq_diagram.posp_plan_ids[0]
         assert cache.cost_array(plan_id) is cache.cost_array(plan_id)
 
+    def test_invalidate_drops_one_plan(self, eq_diagram):
+        cache = eq_diagram.cache
+        a, b = eq_diagram.posp_plan_ids[0], eq_diagram.posp_plan_ids[1]
+        first_a, first_b = cache.cost_array(a), cache.cost_array(b)
+        cache.invalidate(a)
+        rebuilt = cache.cost_array(a)
+        assert rebuilt is not first_a
+        np.testing.assert_array_equal(rebuilt, first_a)
+        assert cache.cost_array(b) is first_b
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.cost_array(b) is not first_b
+
+    def test_max_plans_evicts_least_recently_used(self, eq_diagram):
+        from repro.ess.diagram import PlanCostCache
+
+        base = eq_diagram.cache
+        cache = PlanCostCache(
+            base.space, base.optimizer, base.registry, max_plans=2
+        )
+        a, b, c = eq_diagram.posp_plan_ids[:3]
+        array_a = cache.cost_array(a)
+        cache.cost_array(b)
+        cache.cost_array(a)  # refresh a: b is now the LRU entry
+        cache.cost_array(c)  # evicts b
+        assert len(cache) == 2
+        assert cache.cost_array(a) is array_a
+        with pytest.raises(Exception):
+            PlanCostCache(base.space, base.optimizer, base.registry, max_plans=0)
+
+    def test_concurrent_cost_array_builds_are_safe(self, eq_diagram):
+        import threading
+
+        base = eq_diagram.cache
+        from repro.ess.diagram import PlanCostCache
+
+        cache = PlanCostCache(base.space, base.optimizer, base.registry)
+        plan_ids = list(eq_diagram.posp_plan_ids)
+        errors = []
+
+        def worker():
+            try:
+                for plan_id in plan_ids:
+                    cache.cost_array(plan_id)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for plan_id in plan_ids:
+            np.testing.assert_array_equal(
+                cache.cost_array(plan_id), base.cost_array(plan_id)
+            )
+
 
 class TestCandidateDiagram:
     def test_approximation_close_to_exhaustive(self, optimizer, eq_space, eq_diagram):

@@ -1,0 +1,149 @@
+"""The sweep engine must be an exact, faster replica of the reference
+per-location optimized driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulation import optimized_cost_field, simulate_at
+from repro.sweep import (
+    SweepEngine,
+    optimized_field_array,
+    run_residue,
+    sweep_cost_field,
+)
+from repro.sweep.memo import sweep_cache
+
+RTOL = 1e-9
+
+
+def _reference_field(bouquet):
+    ref = optimized_cost_field(bouquet, engine="reference")
+    shape = bouquet.space.shape
+    out = np.empty(shape)
+    for loc, total in ref.items():
+        out[loc] = total
+    return out
+
+
+@pytest.fixture(scope="module")
+def q3d(lab):
+    return lab.build("3D_H_Q5")
+
+
+class TestFieldEquality:
+    def test_1d_matches_reference(self, eq_bouquet):
+        field = SweepEngine(eq_bouquet).cost_field()
+        np.testing.assert_allclose(
+            field, _reference_field(eq_bouquet), rtol=RTOL, atol=0.0
+        )
+
+    def test_3d_matches_reference(self, q3d):
+        field = SweepEngine(q3d.bouquet).cost_field()
+        np.testing.assert_allclose(
+            field, _reference_field(q3d.bouquet), rtol=RTOL, atol=0.0
+        )
+
+    def test_subset_locations_dict_contract(self, q3d):
+        locations = [(0, 0, 0), (2, 4, 6), (6, 6, 6), (3, 1, 5)]
+        swept = sweep_cost_field(q3d.bouquet, locations=locations)
+        assert set(swept) == set(locations)
+        for loc in locations:
+            ref = simulate_at(q3d.bouquet, loc, mode="optimized").total_cost
+            assert swept[loc] == pytest.approx(ref, rel=RTOL)
+
+    def test_default_engine_is_sweep_and_matches_reference(self, q3d):
+        swept = optimized_cost_field(q3d.bouquet)
+        ref = optimized_cost_field(q3d.bouquet, engine="reference")
+        assert set(swept) == set(ref)
+        for loc, total in ref.items():
+            assert swept[loc] == pytest.approx(total, rel=RTOL)
+
+    def test_residue_only_path_matches_batched(self, q3d):
+        batched = SweepEngine(q3d.bouquet).cost_field()
+        residue = SweepEngine(q3d.bouquet, residue_min=10**9)
+        residue.cache.invalidate()
+        np.testing.assert_allclose(
+            residue.cost_field(), batched, rtol=RTOL, atol=0.0
+        )
+
+
+class TestEngineMechanics:
+    def test_totals_memo_short_circuits(self, q3d):
+        engine = SweepEngine(q3d.bouquet)
+        first = engine.cost_field()
+        cache = sweep_cache(q3d.bouquet)
+        costings_after_first = cache.coster.batched_costings
+        second = engine.cost_field()
+        assert np.array_equal(first, second)
+        # The second sweep is answered from the totals memo: no new
+        # batched costings at all.
+        assert cache.coster.batched_costings == costings_after_first
+
+    def test_refresh_invalidates_totals(self, q3d):
+        engine = SweepEngine(q3d.bouquet)
+        first = engine.cost_field()
+        second = engine.cost_field(refresh=True)
+        # The memoized field may have been produced by the reference
+        # residue path in an earlier test; a refreshed batched sweep
+        # agrees to rounding, not bit-exactly.
+        np.testing.assert_allclose(first, second, rtol=RTOL, atol=0.0)
+
+    def test_crossing_knob_reaches_residue(self, q3d):
+        field = SweepEngine(q3d.bouquet, crossing="concurrent").cost_field()
+        loc = (3, 3, 3)
+        ref = simulate_at(
+            q3d.bouquet, loc, mode="optimized", crossing="concurrent"
+        ).total_cost
+        assert field[loc] == pytest.approx(ref, rel=RTOL)
+
+    def test_crossing_memos_are_isolated(self, q3d):
+        sequential = SweepEngine(q3d.bouquet).cost_field()
+        concurrent = SweepEngine(q3d.bouquet, crossing="concurrent").cost_field()
+        again = SweepEngine(q3d.bouquet).cost_field()
+        np.testing.assert_array_equal(sequential, again)
+        # Concurrent crossing reschedules executions, so the fields differ
+        # somewhere (and must not leak into the sequential memo).
+        assert not np.allclose(sequential, concurrent, rtol=1e-6)
+
+    def test_sharded_residue_matches_serial(self, q3d):
+        locations = [(0, 0, 0), (1, 2, 3), (6, 6, 6), (4, 4, 0), (2, 5, 1)]
+        serial = run_residue(q3d.bouquet, locations)
+        sharded = run_residue(q3d.bouquet, locations, workers=2)
+        assert set(serial) == set(sharded)
+        for loc in locations:
+            assert sharded[loc] == pytest.approx(serial[loc], rel=RTOL)
+
+    def test_array_entry_point_shape(self, q3d):
+        field = optimized_field_array(q3d.bouquet)
+        assert field.shape == q3d.space.shape
+        assert (field > 0).all()
+
+
+class TestPropertyEquality:
+    """Hypothesis: engine totals == per-location simulate_at totals for
+    arbitrary location samples, with the cohort machinery forced on
+    (residue_min=1) so every location flows through batching."""
+
+    @given(data=st.data(), dims=st.sampled_from([1, 3]))
+    @settings(max_examples=10, deadline=None)
+    def test_engine_matches_simulate_at(self, lab, eq_bouquet, data, dims):
+        bouquet = eq_bouquet if dims == 1 else lab.build("3D_H_Q5").bouquet
+        shape = bouquet.space.shape
+        locations = data.draw(
+            st.lists(
+                st.tuples(
+                    *(st.integers(min_value=0, max_value=r - 1) for r in shape)
+                ),
+                min_size=1,
+                max_size=8,
+                unique=True,
+            )
+        )
+        engine = SweepEngine(bouquet, residue_min=1)
+        engine.cache.invalidate()
+        totals = engine.totals(locations)
+        for loc, total in zip(locations, totals):
+            ref = simulate_at(bouquet, loc, mode="optimized").total_cost
+            assert total == pytest.approx(ref, rel=RTOL)
