@@ -14,6 +14,9 @@
 #   make bench-sweep  race the cohort sweep engine against the reference
 #                     per-location driver; writes BENCH_sweep.json and
 #                     fails under 5x speedup or above 1e-9 field error
+#   make bench-compile race the slab-batched compile kernel against the
+#                     scalar optimizer loop; writes BENCH_compile.json and
+#                     fails under 4x speedup or on any plan/cost mismatch
 #   make bench        regenerate every paper table/figure
 #   make experiments  bench + rebuild EXPERIMENTS.md
 #   make examples     run the example scripts end to end
@@ -22,7 +25,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -43,7 +46,7 @@ serve-smoke:
 
 check: lint serve-smoke
 
-ci: lint sweep-smoke
+ci: lint sweep-smoke compile-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench-sched:
@@ -57,6 +60,14 @@ bench-sweep:
 sweep-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.sweep --resolution 5 \
 		--stats-sample 600 --sample 25 --min-speedup 0.0
+
+bench-compile:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.compile --out BENCH_compile.json
+
+# Small-grid sanity pass of the compile bench (exactness gate only).
+compile-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.compile --resolution 5 \
+		--stats-sample 600 --min-speedup 0.0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -44,6 +44,7 @@ from .core.runtime import (
 from .datagen.database import Database
 from .ess.diagram import PlanDiagram, coarse_subgrid
 from .ess.dimensioning import Uncertainty, select_error_dimensions
+from .ess.posp import COMPILE_ENGINES
 from .ess.space import ErrorDimension, SelectivitySpace
 from .exceptions import BouquetError, BudgetExceeded
 from .obs.tracer import NULL_TRACER, Tracer
@@ -99,6 +100,13 @@ class BouquetConfig:
     ``timesliced``), ``equivalence_threshold`` sizes the
     cost-equivalence groups, and ``model_error_delta`` is the §3.4
     bounded cost-model-error δ (budgets inflate by 1+δ).
+
+    ``compile_engine`` selects how POSP generation costs the ESS grid:
+    ``"batch"`` (default) runs the DPsize enumeration once per slab of
+    locations with array-valued costs, ``"reference"`` optimizes one
+    location at a time.  Both produce byte-identical artifacts, so the
+    engine is deliberately **not** a compile knob — it never enters the
+    artifact cache key.
     """
 
     ratio: float = 2.0
@@ -109,6 +117,7 @@ class BouquetConfig:
     equivalence_threshold: float = 0.2
     model_error_delta: float = 0.0
     cost_model: str = "postgres"
+    compile_engine: str = "batch"
 
     def __post_init__(self):
         if self.ratio <= 1.0:
@@ -130,6 +139,11 @@ class BouquetConfig:
             raise BouquetError(
                 f"config: unknown cost model {self.cost_model!r} "
                 f"(expected one of {sorted(_COST_MODELS)})"
+            )
+        if self.compile_engine not in COMPILE_ENGINES:
+            raise BouquetError(
+                f"config: unknown compile engine {self.compile_engine!r} "
+                f"(expected one of {list(COMPILE_ENGINES)})"
             )
 
     @property
@@ -164,10 +178,13 @@ class BouquetConfig:
             "equivalence_threshold": self.equivalence_threshold,
             "model_error_delta": self.model_error_delta,
             "cost_model": self.cost_model,
+            "compile_engine": self.compile_engine,
         }
 
     @staticmethod
     def from_dict(data: Mapping[str, object]) -> "BouquetConfig":
+        # Artifacts written before the batch engine existed carry no
+        # ``compile_engine`` key; the dataclass default covers them.
         return BouquetConfig(**dict(data))
 
 
@@ -397,10 +414,15 @@ def _compile_pipeline(
         res = config.resolution_for(len(dimensions))
         space = SelectivitySpace(query, dimensions, res, base_assignment)
         if space.size <= EXHAUSTIVE_LIMIT:
-            diagram = PlanDiagram.exhaustive(optimizer, space, workers=workers)
+            diagram = PlanDiagram.exhaustive(
+                optimizer, space, workers=workers, engine=config.compile_engine
+            )
         else:
             diagram = PlanDiagram.from_candidates(
-                optimizer, space, coarse_subgrid(space, per_dim=4)
+                optimizer,
+                space,
+                coarse_subgrid(space, per_dim=4),
+                engine=config.compile_engine,
             )
         bouquet = identify_bouquet(diagram, lambda_=config.lambda_, ratio=config.ratio)
         span.set(

@@ -1,0 +1,92 @@
+"""Process-pool sharding of slab optimization (§4.2's parallel POSP).
+
+Mirrors the hardened fork/spawn pool of
+:func:`repro.ess.diagram._parallel_optimize`, but each worker runs the
+**batch** kernel over its whole shard instead of one scalar optimize per
+location — the parent pays only plan unpickling and registration.
+Chunk results are streamed in submission order, so the parent registers
+plans in the same (row-major) order a serial slab sweep would and plan
+ids stay deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..ess.space import Location, SelectivitySpace
+from ..exceptions import EssError
+from ..optimizer.optimizer import Optimizer
+from ..optimizer.plans import PlanNode
+
+__all__ = ["parallel_optimize_batch"]
+
+_WORKER_STATE: dict = {}
+
+
+def _init_batch_worker(optimizer: Optimizer, space: SelectivitySpace):
+    # Workers never trace (see _parallel_optimize): fork would interleave
+    # sink writes, spawn already degraded the tracer while pickling.
+    from ..obs.tracer import NULL_TRACER
+
+    optimizer.tracer = NULL_TRACER
+    _WORKER_STATE["optimizer"] = optimizer
+    _WORKER_STATE["space"] = space
+
+
+def _optimize_slab(locations: List[Location]):
+    optimizer: Optimizer = _WORKER_STATE["optimizer"]
+    space: SelectivitySpace = _WORKER_STATE["space"]
+    assignments = [space.assignment_at(location) for location in locations]
+    results = optimizer.optimize_batch(space.query, assignments)
+    return [
+        (location, result.plan, result.cost, result.rows)
+        for location, result in zip(locations, results)
+    ]
+
+
+def parallel_optimize_batch(
+    optimizer: Optimizer,
+    space: SelectivitySpace,
+    locations: List[Location],
+    workers: int,
+) -> Iterator[Tuple[Location, PlanNode, float, float]]:
+    """Batch-optimize ``locations`` across ``workers`` processes.
+
+    Yields ``(location, plan, cost, rows)`` in the input location order.
+    ``fork`` is preferred; the fallback is an explicit ``spawn`` context
+    with the initializer arguments verified to survive a pickle round
+    trip before any worker starts.
+    """
+    import multiprocessing as mp
+    import pickle
+
+    chunk_size = max(1, len(locations) // workers + (len(locations) % workers > 0))
+    chunks = [
+        locations[i : i + chunk_size] for i in range(0, len(locations), chunk_size)
+    ]
+    if "fork" in mp.get_all_start_methods():
+        ctx = mp.get_context("fork")
+    else:
+        ctx = mp.get_context("spawn")
+        try:
+            restored = pickle.loads(pickle.dumps((optimizer, space)))
+        except Exception as exc:
+            raise EssError(
+                "parallel batch compilation needs a picklable Optimizer and "
+                f"SelectivitySpace under the spawn start method: {exc}"
+            ) from exc
+        if len(restored) != 2:
+            raise EssError("initargs pickle round trip lost arguments")
+    tracer = optimizer.tracer
+    if tracer.enabled:
+        tracer.event(
+            "batchopt.parallel_fanout",
+            workers=workers,
+            slabs=len(chunks),
+            locations=len(locations),
+        )
+    with ctx.Pool(
+        processes=workers, initializer=_init_batch_worker, initargs=(optimizer, space)
+    ) as pool:
+        for chunk_result in pool.imap(_optimize_slab, chunks):
+            yield from chunk_result

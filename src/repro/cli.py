@@ -122,6 +122,7 @@ def _cmd_compile(args) -> int:
         ratio=args.ratio,
         lambda_=args.anorexic_lambda,
         resolution=args.resolution,
+        compile_engine=args.engine,
     )
     compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
     _finish_trace(tracer, args)
@@ -158,7 +159,7 @@ def _cmd_run(args) -> int:
     if args.load:
         compiled = CompiledBouquet.load(args.load, catalog, query=args.sql)
     else:
-        config = BouquetConfig(resolution=args.resolution)
+        config = BouquetConfig(resolution=args.resolution, compile_engine=args.engine)
         compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
     result = api_execute(
         compiled, catalog.database, mode=args.mode, crossing=args.crossing,
@@ -253,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--save", metavar="PATH", default=None)
     p_compile.add_argument("--validate", action="store_true")
     p_compile.add_argument(
+        "--engine", choices=("batch", "reference"), default="batch",
+        help="POSP compile engine: slab-batched DP (default) or the "
+        "one-location-at-a-time reference path",
+    )
+    p_compile.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write a JSONL telemetry trace of the compile phase",
     )
@@ -272,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("sql", help="SPJ SQL text")
     p_run.add_argument("--load", metavar="PATH", default=None)
     p_run.add_argument("--resolution", type=int, default=None)
+    p_run.add_argument(
+        "--engine", choices=("batch", "reference"), default="batch",
+        help="POSP compile engine when compiling (ignored with --load)",
+    )
     p_run.add_argument("--mode", choices=("basic", "optimized"), default="optimized")
     p_run.add_argument(
         "--crossing", choices=("sequential", "concurrent", "timesliced"),

@@ -55,6 +55,7 @@ class BouquetSession:
         lambda_: float = 0.2,
         ratio: float = 2.0,
         tracer: Optional[Tracer] = None,
+        compile_engine: str = "batch",
     ):
         warnings.warn(
             "BouquetSession is deprecated; use repro.api.compile_bouquet / "
@@ -70,6 +71,7 @@ class BouquetSession:
         self.optimizer = Optimizer(schema, statistics, cost_model, tracer=self.tracer)
         self.lambda_ = lambda_
         self.ratio = ratio
+        self.compile_engine = compile_engine
 
     # ------------------------------------------------------------------
 
@@ -82,7 +84,11 @@ class BouquetSession:
         from .. import api
 
         return api.BouquetConfig(
-            ratio=self.ratio, lambda_=self.lambda_, resolution=resolution, mode=mode
+            ratio=self.ratio,
+            lambda_=self.lambda_,
+            resolution=resolution,
+            mode=mode,
+            compile_engine=self.compile_engine,
         )
 
     def compile(

@@ -147,14 +147,26 @@ class PlanDiagram:
         optimizer: Optimizer,
         space: SelectivitySpace,
         workers: Optional[int] = None,
+        engine: str = "batch",
     ) -> "PlanDiagram":
-        """One optimizer call per grid location (the reference method).
+        """Optimal plan at every grid location.
+
+        ``engine="batch"`` (default) runs the DPsize enumeration once for
+        the whole grid as a slab (:mod:`repro.batchopt`); the reference
+        engine makes one scalar optimizer call per location.  Both visit
+        locations in row-major order, so plan ids, costs, and the
+        resulting diagram are identical — the engines differ only in
+        compile latency.
 
         POSP generation is "embarrassingly parallel" (§4.2): with
         ``workers > 1`` the grid is partitioned across processes, each
-        optimizing its share independently; the parent merges the plans
-        into one registry.  Results are identical to the serial run.
+        optimizing its share independently (scalar or slab-at-a-time per
+        the engine); the parent merges the plans into one registry.
+        Results are identical to the serial run.
         """
+        from .posp import resolve_engine
+
+        engine = resolve_engine(optimizer, engine)
         registry = optimizer.registry(space.query)
         plan_ids = np.empty(space.shape, dtype=np.int64)
         costs = np.empty(space.shape, dtype=float)
@@ -162,14 +174,36 @@ class PlanDiagram:
             "ess.exhaustive_diagram",
             locations=space.size,
             workers=workers or 1,
+            engine=engine,
         ) as span:
             if workers and workers > 1:
-                for location, plan, cost in _parallel_optimize(
-                    optimizer, space, workers
+                if engine == "batch":
+                    from ..batchopt.shard import parallel_optimize_batch
+
+                    results = parallel_optimize_batch(
+                        optimizer, space, list(space.locations()), workers
+                    )
+                    for location, plan, cost, _rows in results:
+                        plan_id, _ = registry.register(plan)
+                        plan_ids[location] = plan_id
+                        costs[location] = cost
+                else:
+                    for location, plan, cost in _parallel_optimize(
+                        optimizer, space, workers
+                    ):
+                        plan_id, _ = registry.register(plan)
+                        plan_ids[location] = plan_id
+                        costs[location] = cost
+            elif engine == "batch":
+                locations = list(space.locations())
+                assignments = [
+                    space.assignment_at(location) for location in locations
+                ]
+                for location, result in zip(
+                    locations, optimizer.optimize_batch(space.query, assignments)
                 ):
-                    plan_id, _ = registry.register(plan)
-                    plan_ids[location] = plan_id
-                    costs[location] = cost
+                    plan_ids[location] = result.plan_id
+                    costs[location] = result.cost
             else:
                 for location in space.locations():
                     assignment = space.assignment_at(location)
@@ -186,27 +220,41 @@ class PlanDiagram:
         optimizer: Optimizer,
         space: SelectivitySpace,
         seed_locations: Optional[Iterable[Location]] = None,
+        engine: str = "batch",
     ) -> "PlanDiagram":
         """Approximate diagram: optimize at seed locations to harvest
         candidate plans, then cost every candidate everywhere and argmin.
 
         With seeds on a coarse subgrid this is a standard Picasso-style
         approximation; it converges to the exhaustive diagram as seeds
-        densify, and is exact wherever a seed sits.
+        densify, and is exact wherever a seed sits.  With the default
+        batch engine all seeds are optimized by one slab enumeration.
         """
+        from .posp import resolve_engine
+
+        engine = resolve_engine(optimizer, engine)
         registry = optimizer.registry(space.query)
         if seed_locations is None:
             seed_locations = coarse_subgrid(space, per_dim=4)
         candidate_ids = set()
         with optimizer.tracer.span(
-            "ess.candidate_diagram", locations=space.size
+            "ess.candidate_diagram", locations=space.size, engine=engine
         ) as span:
             seeds = 0
-            for location in seed_locations:
-                assignment = space.assignment_at(location)
-                result = optimizer.optimize(space.query, assignment=assignment)
-                candidate_ids.add(result.plan_id)
-                seeds += 1
+            if engine == "batch":
+                locations = list(seed_locations)
+                assignments = [
+                    space.assignment_at(location) for location in locations
+                ]
+                for result in optimizer.optimize_batch(space.query, assignments):
+                    candidate_ids.add(result.plan_id)
+                seeds = len(locations)
+            else:
+                for location in seed_locations:
+                    assignment = space.assignment_at(location)
+                    result = optimizer.optimize(space.query, assignment=assignment)
+                    candidate_ids.add(result.plan_id)
+                    seeds += 1
             span.set(seeds=seeds, candidates=len(candidate_ids))
         cache = PlanCostCache(space, optimizer, registry)
         ordered = sorted(candidate_ids)

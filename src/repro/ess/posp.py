@@ -23,16 +23,48 @@ from .diagram import PlanCostCache, PlanDiagram
 from .space import Location, SelectivitySpace
 
 
+#: Compile engines understood by the ESS exploration entry points.
+COMPILE_ENGINES = ("batch", "reference")
+
+#: Slabs smaller than this run through the scalar optimizer even under
+#: the batch engine: a DP run over a 2-location corner pair pays more in
+#: array setup than it saves, and both dispatches produce byte-identical
+#: plans and costs, so the threshold is purely a latency choice.
+MIN_BATCH_SLAB = 8
+
+
+def resolve_engine(optimizer, engine: str) -> str:
+    """Validate ``engine`` and degrade ``"batch"`` when unsupported.
+
+    Duck-typed optimizer stand-ins (tests, external engine adapters) may
+    implement only the scalar ``optimize``; they silently get the
+    reference path, which is always correct — just slower.
+    """
+    if engine not in COMPILE_ENGINES:
+        raise EssError(
+            f"unknown compile engine {engine!r}; expected one of {COMPILE_ENGINES}"
+        )
+    if engine == "batch" and not hasattr(optimizer, "optimize_batch"):
+        return "reference"
+    return engine
+
+
 @dataclass
 class ContourBandResult:
     """Sparse POSP knowledge produced by the contour-focused exploration."""
 
     #: location -> (plan_id, optimal cost) for every optimized location.
     optimized: Dict[Location, Tuple[int, float]]
-    #: Number of optimizer invocations spent.
+    #: Number of locations optimized (identical across engines).
     optimizer_calls: int
     #: Number of hypercubes pruned without optimizing their interior.
     pruned_boxes: int
+    #: Engine that actually ran ("batch" may degrade to "reference").
+    engine: str = "reference"
+    #: Batch engine only: DP enumerations actually executed.
+    slabs: int = 0
+    #: Batch engine only: locations served by slab enumerations.
+    batched_locations: int = 0
 
     @property
     def posp_plan_ids(self) -> List[int]:
@@ -44,6 +76,7 @@ def contour_focused_posp(
     space: SelectivitySpace,
     contour_costs: Sequence[float],
     min_box_edge: int = 2,
+    engine: str = "batch",
 ) -> ContourBandResult:
     """Optimize only near the isocost contours.
 
@@ -53,25 +86,57 @@ def contour_focused_posp(
         The IC step costs (from :func:`repro.core.contours.contour_costs`).
     min_box_edge:
         Boxes whose longest edge is at most this are optimized exhaustively.
+    engine:
+        ``"batch"`` (default) optimizes each recursion step as a slab
+        through :meth:`Optimizer.optimize_batch` — leaf boxes (and any
+        slab of at least :data:`MIN_BATCH_SLAB` locations) become single
+        DPsize runs carrying a cost axis, while tiny corner-pair probes
+        stay scalar.  The slab visit order replicates the scalar
+        recursion exactly, so
+        ``"reference"`` (one scalar optimize per location, the paper's
+        literal procedure) produces a byte-identical ``optimized`` map,
+        including plan ids.
     """
     if not contour_costs:
         raise EssError("contour_focused_posp needs at least one contour cost")
+    engine = resolve_engine(optimizer, engine)
     sorted_costs = sorted(contour_costs)
     optimized: Dict[Location, Tuple[int, float]] = {}
     calls = 0
     pruned = 0
+    slabs = 0
+    batched = 0
 
-    def optimize_at(location: Location) -> Tuple[int, float]:
-        nonlocal calls
-        cached = optimized.get(location)
-        if cached is not None:
-            return cached
-        assignment = space.assignment_at(location)
-        result = optimizer.optimize(space.query, assignment=assignment)
-        calls += 1
-        entry = (result.plan_id, result.cost)
-        optimized[location] = entry
-        return entry
+    def optimize_slab(locations) -> None:
+        """Optimize every uncached location, preserving visit order.
+
+        Registration order is what keeps the engines byte-identical: the
+        batch kernel registers slab winners in location order, which is
+        precisely the order the reference loop would have registered
+        them one scalar call at a time.
+        """
+        nonlocal calls, slabs, batched
+        todo: List[Location] = []
+        seen = set()
+        for location in locations:
+            if location not in optimized and location not in seen:
+                seen.add(location)
+                todo.append(location)
+        if not todo:
+            return
+        if engine == "batch" and len(todo) >= MIN_BATCH_SLAB:
+            assignments = [space.assignment_at(location) for location in todo]
+            results = optimizer.optimize_batch(space.query, assignments)
+            for location, result in zip(todo, results):
+                optimized[location] = (result.plan_id, result.cost)
+            slabs += 1
+            batched += len(todo)
+        else:
+            for location in todo:
+                assignment = space.assignment_at(location)
+                result = optimizer.optimize(space.query, assignment=assignment)
+                optimized[location] = (result.plan_id, result.cost)
+        calls += len(todo)
 
     def any_contour_in(clo: float, chi: float) -> bool:
         """Does any IC cost fall within [clo, chi]?"""
@@ -80,9 +145,11 @@ def contour_focused_posp(
 
     def recurse(lo: Location, hi: Location):
         nonlocal pruned
-        # Principal-diagonal corners bound the PIC over the box (PCM).
-        _, cost_lo = optimize_at(lo)
-        _, cost_hi = optimize_at(hi)
+        # Principal-diagonal corners bound the PIC over the box (PCM);
+        # both corners of one box form a two-location slab.
+        optimize_slab((lo, hi))
+        _, cost_lo = optimized[lo]
+        _, cost_hi = optimized[hi]
         # PCM says cost_lo <= cost_hi, but tie-breaking among equal-cost
         # plans can invert the pair by a whisker; an inverted interval
         # would silently prune the box and lose its contour band, so the
@@ -92,10 +159,9 @@ def contour_focused_posp(
             return
         edges = [h - l for l, h in zip(lo, hi)]
         if max(edges) <= min_box_edge:
-            for location in itertools.product(
-                *(range(l, h + 1) for l, h in zip(lo, hi))
-            ):
-                optimize_at(location)
+            optimize_slab(
+                itertools.product(*(range(l, h + 1) for l, h in zip(lo, hi)))
+            )
             return
         # Split along the longest edge.
         axis = max(range(len(edges)), key=lambda d: edges[d])
@@ -108,11 +174,26 @@ def contour_focused_posp(
         recurse(tuple(lo_b), tuple(hi_b))
 
     with optimizer.tracer.span(
-        "ess.contour_posp", locations=space.size, contours=len(sorted_costs)
+        "ess.contour_posp",
+        locations=space.size,
+        contours=len(sorted_costs),
+        engine=engine,
     ) as span:
         recurse(space.origin, space.corner)
-        span.set(optimizer_calls=calls, pruned_boxes=pruned)
-    return ContourBandResult(optimized=optimized, optimizer_calls=calls, pruned_boxes=pruned)
+        span.set(
+            optimizer_calls=calls,
+            pruned_boxes=pruned,
+            slabs=slabs,
+            batched_locations=batched,
+        )
+    return ContourBandResult(
+        optimized=optimized,
+        optimizer_calls=calls,
+        pruned_boxes=pruned,
+        engine=engine,
+        slabs=slabs,
+        batched_locations=batched,
+    )
 
 
 def diagram_from_band(

@@ -135,6 +135,15 @@ class TraceSummary:
                     title="timings",
                 )
             )
+        scalar = self.counters.get("optimizer.calls", 0)
+        batched = self.counters.get("optimizer.batched_locations", 0)
+        if scalar or batched:
+            lines.append("")
+            lines.append(
+                f"optimizer account: {scalar + batched:g} locations planned "
+                f"({scalar:g} scalar calls, {batched:g} batched across "
+                f"{self.counters.get('optimizer.batch_calls', 0):g} slab runs)"
+            )
         return "\n".join(lines)
 
 
@@ -172,6 +181,21 @@ class ServingSummary:
     @property
     def requests(self) -> float:
         return self._c("serve.requests")
+
+    @property
+    def optimizer_calls(self) -> float:
+        """Scalar one-location-at-a-time optimizer invocations."""
+        return self._c("optimizer.calls")
+
+    @property
+    def batched_locations(self) -> float:
+        """ESS locations costed through the batch DP engine's slabs."""
+        return self._c("optimizer.batched_locations")
+
+    @property
+    def optimized_locations(self) -> float:
+        """Total locations planned, whichever compile engine ran them."""
+        return self.optimizer_calls + self.batched_locations
 
     @property
     def lookups(self) -> float:
@@ -229,9 +253,13 @@ class ServingSummary:
                     title="serve phases",
                 )
             )
-        calls = self._c("optimizer.calls")
         lines.append("")
-        lines.append(f"optimizer calls in trace: {calls:g}")
+        lines.append(
+            f"optimizer locations in trace: {self.optimized_locations:g} "
+            f"({self.optimizer_calls:g} scalar calls, "
+            f"{self.batched_locations:g} batched across "
+            f"{self._c('optimizer.batch_calls'):g} slab runs)"
+        )
         return "\n".join(lines)
 
 
@@ -247,7 +275,7 @@ def summarize_serving(records: Iterable[Dict[str, Any]]) -> ServingSummary:
         kind = record.get("type")
         if kind == "counter":
             name = record["name"]
-            if name.startswith("serve.") or name == "optimizer.calls":
+            if name.startswith(("serve.", "optimizer.", "batchopt.")):
                 summary.counters[name] = record["value"]
         elif kind == "span_end":
             name = record.get("name")

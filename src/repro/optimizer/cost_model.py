@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -40,6 +42,16 @@ class CostModel:
     def with_overrides(self, **kwargs) -> "CostModel":
         """Return a copy with some constants replaced."""
         return replace(self, **kwargs)
+
+    def sort_cost(self, rows):
+        """CPU cost of sorting ``rows`` tuples (n·log2 n comparisons).
+
+        Array-valued entry point: ``rows`` may be a scalar or a numpy
+        array of cardinalities (one per ESS location), in which case the
+        formula evaluates elementwise — the batch compile kernel and the
+        vectorized cost-field sweeps both lean on this.
+        """
+        return self.sort_cpu_factor * rows * np.log2(rows + 2.0)
 
 
 #: The default, PostgreSQL-flavoured cost model used throughout.

@@ -70,6 +70,26 @@ class JoinEnumerator:
         self._partitions = self._connected_partitions()
 
     # ------------------------------------------------------------------
+    # Public structure (shared with the batch kernel, repro.batchopt)
+    # ------------------------------------------------------------------
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """Base tables in the canonical (sorted) enumeration order."""
+        return self._tables
+
+    @property
+    def partitions(
+        self,
+    ) -> Dict[FrozenSet[str], List[Tuple[FrozenSet[str], FrozenSet[str], Tuple[str, ...]]]]:
+        """Connected (left, right, join_pids) splits, keyed by subset."""
+        return self._partitions
+
+    def access_path_candidates(self, table: str) -> List[PlanNode]:
+        """Access-path candidates for one base table, in DP order."""
+        return self._access_paths[table]
+
+    # ------------------------------------------------------------------
     # Static structure
     # ------------------------------------------------------------------
 
@@ -159,7 +179,7 @@ class JoinEnumerator:
                     right = best.get(right_set)
                     if left is None or right is None:
                         continue
-                    for plan in self._join_candidates(
+                    for plan in self.join_candidates(
                         left[0], right[0], left_set, right_set, join_pids, cost_model
                     ):
                         est = plan.estimate(ctx)
@@ -176,7 +196,7 @@ class JoinEnumerator:
             raise OptimizerError("join enumeration failed to cover all tables")
         return top
 
-    def _join_candidates(
+    def join_candidates(
         self,
         left_plan: PlanNode,
         right_plan: PlanNode,
@@ -185,7 +205,12 @@ class JoinEnumerator:
         join_pids: Tuple[str, ...],
         cost_model: CostModel,
     ) -> List[PlanNode]:
-        """Physical join alternatives for one (left, right) split."""
+        """Physical join alternatives for one (left, right) split.
+
+        The candidate *order* is part of the optimizer's contract: the
+        scalar DP and the batch kernel both resolve cost ties by keeping
+        the first candidate seen, so they must enumerate identically.
+        """
         plans: List[PlanNode] = [
             Join("hash", left_plan, right_plan, join_pids),
             Join("hash", right_plan, left_plan, join_pids),

@@ -9,9 +9,10 @@ paper's POSP figures.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..catalog.schema import Schema
 from ..catalog.statistics import DatabaseStatistics
@@ -45,33 +46,63 @@ class OptimizedPlan:
 
 
 class PlanRegistry:
-    """Assigns small stable integer ids to distinct plan signatures."""
+    """Assigns small stable integer ids to distinct plan signatures.
+
+    Structurally identical plans registered from different ESS grid
+    locations (or by different compile engines) deduplicate onto one id
+    via the plan's canonical signature, which keeps POSP sets and the
+    anorexic-reduction input small.  The registry is shared by parallel
+    compile workers, so registration and lookup are guarded by a lock;
+    ids are assigned strictly in first-registration order, which is what
+    makes batch and scalar compiles produce identical id maps.
+    """
 
     def __init__(self):
         self._ids: Dict[str, int] = {}
         self._plans: Dict[int, PlanNode] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def register(self, plan: PlanNode) -> Tuple[int, str]:
-        signature = plan.signature()
-        plan_id = self._ids.get(signature)
-        if plan_id is None:
-            plan_id = len(self._ids) + 1
-            self._ids[signature] = plan_id
-            self._plans[plan_id] = plan
+        signature = plan.canonical_signature()
+        with self._lock:
+            plan_id = self._ids.get(signature)
+            if plan_id is None:
+                plan_id = len(self._ids) + 1
+                self._ids[signature] = plan_id
+                self._plans[plan_id] = plan
         return plan_id, signature
 
     def plan(self, plan_id: int) -> PlanNode:
-        try:
-            return self._plans[plan_id]
-        except KeyError:
-            raise OptimizerError(f"unknown plan id {plan_id}") from None
+        with self._lock:
+            try:
+                return self._plans[plan_id]
+            except KeyError:
+                raise OptimizerError(f"unknown plan id {plan_id}") from None
+
+    def canonical(self, plan: PlanNode) -> PlanNode:
+        """The registry's canonical instance for a structurally identical
+        plan (registering it first if unseen) — lets callers share one
+        object per plan shape across grid locations."""
+        plan_id, _ = self.register(plan)
+        return self.plan(plan_id)
 
     def __len__(self):
-        return len(self._ids)
+        with self._lock:
+            return len(self._ids)
 
     @property
     def plan_ids(self) -> List[int]:
-        return sorted(self._plans)
+        with self._lock:
+            return sorted(self._plans)
 
 
 class Optimizer:
@@ -183,6 +214,66 @@ class Optimizer:
         return OptimizedPlan(
             plan=plan, cost=cost, rows=rows, plan_id=plan_id, signature=signature
         )
+
+    def optimize_batch(
+        self,
+        query: Query,
+        assignments: Sequence[Mapping[str, float]],
+    ) -> List[OptimizedPlan]:
+        """Find the cheapest plan at every assignment of a slab at once.
+
+        Runs the DPsize enumeration **once** while carrying a numpy cost
+        axis over the slab (:mod:`repro.batchopt`): per connected subset
+        the DP keeps a frontier of plans that are cheapest at >= 1
+        location, so ``optimize_batch(A)[i]`` equals
+        ``optimize(query, A[i])`` — same plan id, same cost — for every
+        ``i``.  Plans are registered in slab order, so a batch compile
+        assigns the same plan ids a scalar sweep over the same location
+        order would.
+        """
+        from ..batchopt.kernel import (
+            batch_best_plans,
+            stack_assignments,
+            validate_columns,
+        )
+
+        if not assignments:
+            return []
+        tracer = self.tracer
+        t0 = time.perf_counter() if tracer.enabled else 0.0
+        columns, length = stack_assignments(assignments)
+        validate_columns(query, columns, length)
+        enumerator = self._enumerator(query) if len(query.tables) > 1 else None
+        choice = batch_best_plans(
+            query, self.schema, self.cost_model, columns, length, enumerator
+        )
+        registry = self.registry(query)
+        registered: Dict[int, Tuple[int, str]] = {}
+        results: List[OptimizedPlan] = []
+        for index in range(length):
+            frontier_index = int(choice.winner[index])
+            entry = registered.get(frontier_index)
+            if entry is None:
+                entry = registry.register(choice.plans[frontier_index])
+                registered[frontier_index] = entry
+            plan_id, signature = entry
+            results.append(
+                OptimizedPlan(
+                    plan=choice.plans[frontier_index],
+                    cost=float(choice.cost[index]),
+                    rows=float(choice.rows[index]),
+                    plan_id=plan_id,
+                    signature=signature,
+                )
+            )
+        if tracer.enabled:
+            tracer.count("optimizer.batch_calls")
+            tracer.count("optimizer.batched_locations", length)
+            tracer.count("batchopt.slabs")
+            tracer.count("batchopt.locations", length)
+            tracer.count("batchopt.frontier_plans", choice.frontier_size)
+            tracer.observe("optimizer.batch_latency", time.perf_counter() - t0)
+        return results
 
     def _best_single_table(
         self, query: Query, assignment: Mapping[str, float]

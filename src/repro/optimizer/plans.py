@@ -37,7 +37,14 @@ class NodeEstimate:
 
 
 class CostContext:
-    """Everything needed to cost a plan at one point in selectivity space."""
+    """Everything needed to cost a plan at one point in selectivity space.
+
+    The assignment may map pids to scalars (point costing) or to 1-D
+    numpy arrays (slab costing): every operator formula is plain
+    elementwise arithmetic, so an array-valued context evaluates a plan
+    at a whole slab of ESS locations in one pass.  :meth:`for_slab` is
+    the explicit batch entry point used by :mod:`repro.batchopt`.
+    """
 
     def __init__(
         self,
@@ -52,6 +59,22 @@ class CostContext:
         # node guarantees its id() is not recycled for a different node
         # within this context's lifetime.
         self._memo: Dict[int, Tuple[PlanNode, NodeEstimate]] = {}
+
+    @classmethod
+    def for_slab(
+        cls,
+        schema: Schema,
+        cost_model: CostModel,
+        columns: Mapping[str, object],
+    ) -> "CostContext":
+        """Array-valued costing context over a slab of ESS locations.
+
+        ``columns`` maps each pid to either a python float (the pid is
+        constant over the slab) or a 1-D array of per-location
+        selectivities.  Estimates memoize whole arrays per node, so a
+        frontier plan shared by many DP candidates is costed once.
+        """
+        return cls(schema, cost_model, columns)
 
     def selectivity(self, pid: str) -> float:
         try:
@@ -79,6 +102,21 @@ class PlanNode:
         the same plan for POSP/bouquet purposes."""
         raise NotImplementedError
 
+    def canonical_signature(self) -> str:
+        """Memoized :meth:`signature`.
+
+        Plan trees are immutable after construction, so the signature is
+        computed once and cached on the instance.  The batch compile
+        kernel registers the same frontier plan for many grid locations;
+        the cache turns those repeat registrations into a dict hit
+        instead of an O(tree) string rebuild.
+        """
+        sig = getattr(self, "_signature_cache", None)
+        if sig is None:
+            sig = self.signature()
+            self._signature_cache = sig
+        return sig
+
     # -- metadata ------------------------------------------------------
 
     @property
@@ -102,6 +140,12 @@ class PlanNode:
         if cached is not None:
             return cached[1]
         result = self._estimate(ctx)
+        # Memoized estimates are shared by every plan that embeds this
+        # node; freeze array fields so an accidental in-place update in a
+        # parent's formula raises instead of corrupting the slab memo.
+        for field in (result.rows, result.cost):
+            if isinstance(field, np.ndarray):
+                field.setflags(write=False)
         ctx._memo[id(self)] = (self, result)
         return result
 
@@ -266,8 +310,10 @@ class Aggregate(PlanNode):
             rows_out = np.minimum(child.rows, self.group_limit(ctx))
         else:
             rows_out = 1.0
-        cost = child.cost
-        cost += child.rows * (
+        # Binary + first: ``child.cost`` may be a memoized array shared
+        # with other plans in a slab context, so the running total must
+        # start as a fresh object before any in-place accumulation.
+        cost = child.cost + child.rows * (
             model.hash_tuple_cost + len(self.group_columns) * model.cpu_operator_cost
         )
         cost += rows_out * model.cpu_tuple_cost
@@ -338,8 +384,9 @@ class Join(PlanNode):
                 + model.cpu_tuple_cost
                 + len(inner.filter_pids) * model.cpu_operator_cost
             )
-            cost = left.cost
-            cost += left.rows * per_lookup
+            # Binary + first (see Aggregate): never ``+=`` onto the
+            # memoized child cost, which may be a shared slab array.
+            cost = left.cost + left.rows * per_lookup
             cost += left.rows * matched_per_outer * per_match
             cost += rows_out * model.cpu_tuple_cost
             return NodeEstimate(rows=rows_out, cost=cost)
@@ -353,7 +400,7 @@ class Join(PlanNode):
             cost += rows_out * model.cpu_tuple_cost
         elif self.algo == "merge":
             cost = left.cost + right.cost
-            cost += _sort_cost(left.rows, model) + _sort_cost(right.rows, model)
+            cost += model.sort_cost(left.rows) + model.sort_cost(right.rows)
             cost += (left.rows + right.rows) * model.cpu_operator_cost
             cost += rows_out * model.cpu_tuple_cost
         elif self.algo == "nl":
@@ -367,8 +414,9 @@ class Join(PlanNode):
 
 
 def _sort_cost(rows, model: CostModel):
-    # np.log2 keeps the formula vectorizable (rows may be a whole ESS grid).
-    return model.sort_cpu_factor * rows * np.log2(rows + 2.0)
+    # Kept as an alias; the formula lives on CostModel so scalar and
+    # batch costing share one (vectorizable) implementation.
+    return model.sort_cost(rows)
 
 
 # ---------------------------------------------------------------------------

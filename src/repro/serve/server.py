@@ -207,6 +207,21 @@ class BouquetServer:
                 raise BouquetError("server is closed")
             future = self._inflight.get(digest)
             if future is None:
+                # A compile that finished between our store miss above and
+                # this lock acquisition has already published its artifact
+                # (_retire runs strictly after the store put), so one more
+                # lookup here closes the race that would duplicate the
+                # compile.  Fast batch compiles made that window easy to
+                # hit: a whole compile can complete while a peer thread is
+                # still between its miss and the lock.
+                # Telemetry-silent: this is a race-closing recheck, not a
+                # second user-visible cache lookup — the pre-lock miss
+                # above already accounted this request.
+                hit, tier = self.store.lookup(
+                    key, self.catalog, query=parsed, tracer=NULL_TRACER
+                )
+                if hit is not None:
+                    return hit, tier
                 owner = True
                 future = self._pool.submit(self._compile_and_store, key, parsed, sql)
                 self._inflight[digest] = future
@@ -251,6 +266,28 @@ class BouquetServer:
         if self.tracer.enabled:
             self.tracer.count("serve.warm_sweeps")
         return field
+
+    def warm_compile(
+        self,
+        queries,
+        timeout: Optional[float] = None,
+    ):
+        """Pre-populate the artifact cache for a workload.
+
+        Each query is compiled through the ordinary cache/single-flight
+        path — and therefore through the configured compile engine, which
+        by default is the batch slab kernel (:mod:`repro.batchopt`), so
+        warming a canned workload costs one DPsize enumeration per
+        contour-band slab instead of one scalar optimize per ESS
+        location.  Returns ``[(compiled, source), ...]`` in input order.
+        """
+        results = []
+        with self.tracer.span("serve.warm_compile"):
+            for query in queries:
+                results.append(self.compile(query, timeout=timeout))
+                if self.tracer.enabled:
+                    self.tracer.count("serve.warm_compiles")
+        return results
 
     def _retire(self, digest: str) -> None:
         with self._lock:
@@ -392,7 +429,7 @@ class BouquetServer:
             "counters": {
                 name: value
                 for name, value in sorted(snapshot["counters"].items())
-                if name.startswith(("serve.", "optimizer.calls"))
+                if name.startswith(("serve.", "optimizer."))
             },
             "store": self.store.snapshot(),
             "inflight": inflight,

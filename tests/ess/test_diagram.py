@@ -55,7 +55,7 @@ class TestParallelExhaustive:
 
         monkeypatch.setattr(diagram_module, "_optimize_chunk", _exploding_chunk)
         with pytest.raises(Exception):
-            PlanDiagram.exhaustive(optimizer, eq_space, workers=2)
+            PlanDiagram.exhaustive(optimizer, eq_space, workers=2, engine="reference")
 
 
 class TestCostCache:

@@ -65,14 +65,22 @@ class TestTracedSession:
     def test_optimizer_account_present(self, traced_run):
         path, _, _ = traced_run
         summary = summarize_trace(read_trace(path))
-        assert summary.counters["optimizer.calls"] >= 24
-        assert summary.timings["optimizer.latency"]["count"] >= 24
+        # The batch compile engine accounts whole slabs of locations per
+        # DP run rather than one optimizer.calls tick per location.
+        optimized = summary.counters.get("optimizer.calls", 0) + summary.counters.get(
+            "optimizer.batched_locations", 0
+        )
+        assert optimized >= 24
+        latency_samples = summary.timings.get("optimizer.latency", {}).get(
+            "count", 0
+        ) + summary.timings.get("optimizer.batch_latency", {}).get("count", 0)
+        assert latency_samples >= 1
 
     def test_describe_renders_account(self, traced_run):
         path, _, _ = traced_run
         text = summarize_trace(read_trace(path)).describe()
         assert "per-contour execution account" in text
-        assert "optimizer.calls" in text
+        assert "optimizer." in text
 
     def test_simulate_is_traced(self, schema, database, statistics):
         tracer = Tracer(MemorySink())
@@ -97,5 +105,5 @@ class TestLabTracing:
     def test_lab_trace_summary(self, lab):
         lab.build("EQ")
         text = lab.trace_summary()
-        assert "optimizer.calls" in text
+        assert "optimizer." in text
         assert "lab.build" in text or "root spans" in text

@@ -105,7 +105,7 @@ class TestTraceCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "per-contour execution account" in out
-        assert "optimizer.calls" in out
+        assert "optimizer." in out
         assert "IC" in out
 
     def test_missing_trace_file_fails_gracefully(self, capsys, tmp_path):

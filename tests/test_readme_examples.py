@@ -113,6 +113,30 @@ class TestReadmeSnippets:
         assert result.completed
         assert result.result_rows is not None
 
+    def test_batch_compile_snippet(self):
+        from repro import BouquetConfig, Catalog, Database, tpch_schema
+        from repro import compile_bouquet
+        from repro.catalog import tpch_generator_spec
+
+        schema = tpch_schema(0.002)
+        db = Database.generate(schema, tpch_generator_spec(0.002), seed=42)
+        catalog = Catalog(
+            schema, statistics=db.build_statistics(sample_size=500), database=db
+        )
+        compiled = compile_bouquet(
+            README_SQL, catalog, config=BouquetConfig(resolution=16)
+        )
+        reference = compile_bouquet(
+            README_SQL,
+            catalog,
+            config=BouquetConfig(resolution=16, compile_engine="reference"),
+        )
+        # Identical artifact, whichever engine compiled it.
+        assert compiled.config.compile_engine == "batch"
+        assert reference.bouquet.cardinality == compiled.bouquet.cardinality
+        assert reference.bouquet.budgets == compiled.bouquet.budgets
+        assert reference.mso_bound == compiled.mso_bound
+
     def test_session_snippet(self):
         from repro import BouquetSession, Database, tpch_schema
         from repro.catalog import tpch_generator_spec
