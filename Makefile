@@ -17,6 +17,10 @@
 #   make bench-compile race the slab-batched compile kernel against the
 #                     scalar optimizer loop; writes BENCH_compile.json and
 #                     fails under 4x speedup or on any plan/cost mismatch
+#   make bench-drift  race the delta refresh engine against a from-scratch
+#                     rebuild under statistics drift; writes BENCH_drift.json
+#                     and fails above 20% re-planned locations, under 5x
+#                     savings, or on any plan/cost/contour divergence
 #   make bench        regenerate every paper table/figure
 #   make experiments  bench + rebuild EXPERIMENTS.md
 #   make examples     run the example scripts end to end
@@ -25,7 +29,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -46,7 +50,7 @@ serve-smoke:
 
 check: lint serve-smoke
 
-ci: lint sweep-smoke compile-smoke
+ci: lint sweep-smoke compile-smoke drift-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench-sched:
@@ -68,6 +72,14 @@ bench-compile:
 compile-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.compile --resolution 5 \
 		--stats-sample 600 --min-speedup 0.0
+
+bench-drift:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.drift --out BENCH_drift.json
+
+# Smaller-grid pass of the drift bench with the same three gates
+# (locality, savings, bit-exact equivalence).
+drift-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.drift --resolution 10
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -6,7 +6,13 @@ run the identical workload again and verify the §4.2 amortization
 actually materialized — every second-pass request must be answered from
 the artifact cache, the optimizer must not be invoked at all, and the
 warm pass must be at least ``min_speedup``× faster end to end.
-``make serve-smoke`` / ``repro serve-smoke`` gate on this.
+
+A third pass then injects a small statistics drift and calls
+:meth:`~repro.serve.BouquetServer.refresh_statistics`: the patch path
+must carry every cached artifact across the fingerprint change
+(``serve.cache.patched``), so the post-refresh pass is again all cache
+hits with zero optimizer work.  ``make serve-smoke`` /
+``repro serve-smoke`` gate on this.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Dict, List, Optional
 from ..api import BouquetConfig, Catalog
 from ..catalog.tpch import tpch_generator_spec, tpch_schema
 from ..datagen.database import Database
+from ..drift import perturb_statistics
 from ..obs.tracer import MemorySink, Tracer
 from ..serve.cache import BouquetArtifactStore
 from ..serve.server import BouquetServer
@@ -60,6 +67,9 @@ class ServeSmokeReport:
     warm_sources: List[str] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     min_speedup: float = 5.0
+    refresh_optimizer_calls: float = 0.0
+    refresh_sources: List[str] = field(default_factory=list)
+    patched_artifacts: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -72,11 +82,20 @@ class ServeSmokeReport:
         )
 
     @property
+    def all_refresh_hits(self) -> bool:
+        return bool(self.refresh_sources) and all(
+            source in ("memory", "disk") for source in self.refresh_sources
+        )
+
+    @property
     def ok(self) -> bool:
         return (
             self.all_warm_hits
             and self.warm_optimizer_calls == 0
             and self.speedup >= self.min_speedup
+            and self.all_refresh_hits
+            and self.refresh_optimizer_calls == 0
+            and self.patched_artifacts >= self.queries
         )
 
     def describe(self) -> str:
@@ -90,6 +109,9 @@ class ServeSmokeReport:
             ["cold optimizer calls", f"{self.cold_optimizer_calls:g}"],
             ["warm optimizer calls", f"{self.warm_optimizer_calls:g}"],
             ["warm sources", ",".join(self.warm_sources)],
+            ["patched artifacts", f"{self.patched_artifacts:g}"],
+            ["post-refresh optimizer calls", f"{self.refresh_optimizer_calls:g}"],
+            ["post-refresh sources", ",".join(self.refresh_sources)],
             ["verdict", "OK" if self.ok else "FAIL"],
         ]
         return format_table(["serve smoke", "value"], rows, title="serve smoke")
@@ -129,6 +151,19 @@ def run_serve_smoke(
             warm_sources.append(source)
         warm_seconds = time.perf_counter() - t0
         calls2 = _optimized_locations(tracer)
+
+        # Statistics drift: the fingerprint changes, but with a live
+        # database the compile inputs do not — the refresh must patch
+        # every artifact across rather than recompile it.
+        drifted = perturb_statistics(
+            statistics, "part", "p_retailprice", scale=1.05
+        )
+        server.refresh_statistics(drifted)
+        refresh_sources = []
+        for sql in CANNED_WORKLOAD:
+            _, source = server.compile(sql)
+            refresh_sources.append(source)
+        calls3 = _optimized_locations(tracer)
     return ServeSmokeReport(
         queries=len(CANNED_WORKLOAD),
         cold_seconds=cold_seconds,
@@ -138,4 +173,7 @@ def run_serve_smoke(
         warm_sources=warm_sources,
         counters=dict(tracer.counters),
         min_speedup=min_speedup,
+        refresh_optimizer_calls=calls3 - calls2,
+        refresh_sources=refresh_sources,
+        patched_artifacts=tracer.counters.get("serve.cache.patched", 0),
     )

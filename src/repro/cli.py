@@ -18,7 +18,11 @@ across machines:
 * ``serve-stats`` — summarize the serving-layer account (cache ladder,
   single-flight coalescing, degradations) of a JSONL trace;
 * ``serve-smoke`` — compile-cache the canned workload twice and verify
-  the warm pass is all cache hits and at least 5x faster.
+  the warm pass is all cache hits and at least 5x faster;
+* ``refresh`` — compile a bouquet, inject localized statistics drift,
+  and refresh it: ``--delta`` runs the delta engine (re-planning only
+  drift-suspect ESS locations), ``--verify`` checks the result
+  bit-for-bit against a full recompile.
 
 Commands are built on the :mod:`repro.api` facade.
 """
@@ -186,6 +190,67 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_refresh(args) -> int:
+    from .drift import (
+        bouquets_equal,
+        patch_compiled,
+        perturb_statistics,
+        statistics_delta,
+    )
+
+    schema, _database, statistics = _build_environment(args)
+    # Statistics-only catalog (the ETL scenario): the base assignment is
+    # estimated, so statistics drift actually moves the compile inputs.
+    catalog = Catalog(schema, statistics=statistics)
+    tracer = _session_tracer(args)
+    config = BouquetConfig(resolution=args.resolution)
+    compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
+    print(
+        f"compiled: |B|={compiled.bouquet.cardinality} over "
+        f"{compiled.space.size} ESS locations"
+    )
+
+    table, _, column = args.perturb.partition(".")
+    new_statistics = perturb_statistics(
+        statistics,
+        table,
+        column or None,
+        scale=args.perturb_scale,
+        distinct_scale=args.distinct_scale,
+    )
+    delta = statistics_delta(statistics, new_statistics)
+    print(delta.describe())
+    moved = delta.moved_pids(compiled.query)
+    print(f"moved predicates: {', '.join(moved) or 'none'}")
+    catalog.statistics = new_statistics
+
+    if args.delta:
+        outcome = patch_compiled(compiled, catalog, tracer=tracer)
+        refreshed = outcome.compiled
+        print(outcome.result.describe())
+    else:
+        refreshed = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
+        print(
+            f"full recompile: planned {refreshed.space.size}/"
+            f"{refreshed.space.size} locations"
+        )
+    print(refreshed.bouquet.describe())
+
+    status = 0
+    if args.verify:
+        reference = compile_bouquet(args.sql, catalog, config=config)
+        problems = bouquets_equal(refreshed.bouquet, reference.bouquet)
+        if problems:
+            print("verify: MISMATCH vs full recompile:")
+            for problem in problems:
+                print(f"  - {problem}")
+            status = 1
+        else:
+            print("verify: bit-identical to a full recompile")
+    _finish_trace(tracer, args)
+    return status
+
+
 def _cmd_trace(args) -> int:
     try:
         records = read_trace(args.file)
@@ -294,6 +359,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL telemetry trace of compile + execution",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_refresh = sub.add_parser(
+        "refresh",
+        help="refresh a compiled bouquet after injected statistics drift",
+    )
+    _add_env_arguments(p_refresh)
+    p_refresh.add_argument("sql", help="SPJ SQL text")
+    p_refresh.add_argument("--resolution", type=int, default=None)
+    p_refresh.add_argument(
+        "--perturb", metavar="TABLE[.COLUMN]", required=True,
+        help="statistics target to drift (one table, or one column of it)",
+    )
+    p_refresh.add_argument(
+        "--perturb-scale", type=float, default=1.5,
+        help="multiplier applied to the target's value statistics",
+    )
+    p_refresh.add_argument(
+        "--distinct-scale", type=float, default=None,
+        help="additionally scale the target's distinct counts (moves joins)",
+    )
+    p_refresh.add_argument(
+        "--delta", action="store_true",
+        help="use the delta engine (re-plan only drift-suspect locations) "
+        "instead of a full recompile",
+    )
+    p_refresh.add_argument(
+        "--verify", action="store_true",
+        help="check the refreshed bouquet bit-for-bit against a full recompile",
+    )
+    p_refresh.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL telemetry trace of the refresh",
+    )
+    p_refresh.set_defaults(func=_cmd_refresh)
 
     p_trace = sub.add_parser(
         "trace", help="summarize a JSONL telemetry trace (Table 3-style account)"

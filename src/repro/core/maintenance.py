@@ -16,6 +16,12 @@ The refresh typically spends an order of magnitude fewer optimizer calls
 than a from-scratch exhaustive rebuild while producing a bouquet whose
 guarantee is intact (the candidate-diagram PIC upper-bounds the true
 PIC, so measured MSO is still checked against the bound downstream).
+
+When the refresh does *not* change the ESS shape — a statistics update
+rather than a scale-up — :func:`refresh_bouquet` routes to the
+delta-driven engine (:mod:`repro.drift`) instead: only drift-suspect
+locations are re-planned and the result is bit-identical to a full
+rebuild, not an approximation.
 """
 
 from __future__ import annotations
@@ -32,12 +38,22 @@ from .bouquet import PlanBouquet, identify_bouquet
 
 @dataclass
 class RefreshResult:
-    """Outcome of an incremental bouquet refresh."""
+    """Outcome of an incremental bouquet refresh.
+
+    ``strategy`` records which engine ran: ``"seed-merge"`` (the
+    scale-up path below), or the :mod:`repro.drift` engine's
+    ``"delta"`` / ``"identity"`` when the ESS shape survived the
+    refresh.  ``replanned_locations`` counts the grid locations the
+    delta engine actually sent through the DP (0 on the seed path,
+    whose cost unit is ``optimizer_calls``).
+    """
 
     bouquet: PlanBouquet
     optimizer_calls: int
     reused_plan_count: int
     new_plan_count: int
+    strategy: str = "seed-merge"
+    replanned_locations: int = 0
 
     @property
     def total_candidates(self) -> int:
@@ -52,6 +68,7 @@ def refresh_bouquet(
     ratio: Optional[float] = None,
     seeds_per_dim: int = 3,
     artifact_store=None,
+    engine: str = "auto",
 ) -> RefreshResult:
     """Rebuild a bouquet on ``new_space`` reusing the old bouquet's plans.
 
@@ -59,12 +76,21 @@ def refresh_bouquet(
     must be built over the same query shape (same predicate pids) so the
     old plan structures remain meaningful.
 
+    ``engine`` picks the refresh strategy: ``"auto"`` (default) runs the
+    delta engine (:func:`repro.drift.refresh.delta_refresh`) whenever the
+    ESS shape is unchanged — same dimensions, same grid, exhaustive-sized
+    — and falls back to the seed-and-merge path otherwise; ``"delta"``
+    and ``"seed"`` force one or the other (``"delta"`` raises when the
+    shapes diverge).
+
     ``artifact_store`` may be a
     :class:`repro.serve.BouquetArtifactStore`; a refresh means the
     statistics world view changed, so every cached artifact whose
     statistics fingerprint differs from ``optimizer.statistics`` is
     dropped before the rebuild.
     """
+    if engine not in ("auto", "delta", "seed"):
+        raise BouquetError(f"unknown refresh engine {engine!r}")
     if artifact_store is not None:
         from ..serve.fingerprint import statistics_fingerprint
 
@@ -79,6 +105,13 @@ def refresh_bouquet(
         )
     lambda_ = old_bouquet.lambda_ if lambda_ is None else lambda_
     ratio = old_bouquet.ratio if ratio is None else ratio
+
+    if engine in ("auto", "delta"):
+        result = _try_delta_refresh(
+            old_bouquet, optimizer, new_space, lambda_, ratio, engine
+        )
+        if result is not None:
+            return result
 
     registry = optimizer.registry(new_space.query)
     reused_ids = set()
@@ -105,6 +138,66 @@ def refresh_bouquet(
         optimizer_calls=calls,
         reused_plan_count=len(reused_ids),
         new_plan_count=len(seeded_ids - reused_ids),
+    )
+
+
+def _try_delta_refresh(
+    old_bouquet: PlanBouquet,
+    optimizer: Optimizer,
+    new_space: SelectivitySpace,
+    lambda_: float,
+    ratio: float,
+    engine: str,
+) -> Optional[RefreshResult]:
+    """Run the :mod:`repro.drift` engine when the ESS shape is unchanged.
+
+    Returns ``None`` (letting the seed-and-merge path run) when the new
+    space has a different grid, different dimension ranges, or is too
+    large for the exhaustive diagram the delta engine patches against —
+    unless ``engine="delta"`` forces it, in which case incompatibility
+    raises.
+    """
+    from ..api import EXHAUSTIVE_LIMIT
+    from ..drift.refresh import delta_refresh
+    from ..exceptions import DriftError
+
+    old_space = old_bouquet.space
+    compatible = (
+        tuple((d.pid, d.lo, d.hi) for d in old_space.dimensions)
+        == tuple((d.pid, d.lo, d.hi) for d in new_space.dimensions)
+        and old_space.shape == new_space.shape
+        and new_space.size <= EXHAUSTIVE_LIMIT
+    )
+    if not compatible:
+        if engine == "delta":
+            raise BouquetError(
+                "delta refresh requires an unchanged, exhaustive-sized ESS "
+                "(same dimensions, same grid shape)"
+            )
+        return None
+    try:
+        result = delta_refresh(
+            old_bouquet, optimizer, new_space, lambda_=lambda_, ratio=ratio
+        )
+    except DriftError:
+        if engine == "delta":
+            raise
+        return None
+    old_sigs = {
+        old_bouquet.registry.plan(p).canonical_signature()
+        for p in old_bouquet.plan_ids
+    }
+    new_sigs = {
+        result.bouquet.registry.plan(p).canonical_signature()
+        for p in result.bouquet.plan_ids
+    }
+    return RefreshResult(
+        bouquet=result.bouquet,
+        optimizer_calls=result.planned_locations,
+        reused_plan_count=len(old_sigs & new_sigs),
+        new_plan_count=len(new_sigs - old_sigs),
+        strategy=result.strategy,
+        replanned_locations=result.planned_locations,
     )
 
 

@@ -54,3 +54,10 @@ class EssError(ReproError):
 
 class BouquetError(ReproError):
     """Raised when bouquet identification or execution cannot proceed."""
+
+
+class DriftError(ReproError):
+    """Raised when a statistics delta makes an artifact un-patchable (the
+    drift changed the error dimensions, the grid shape, or more than the
+    delta-refresh engine can reconcile) — callers fall back to a full
+    recompile or invalidation."""

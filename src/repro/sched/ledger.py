@@ -83,12 +83,15 @@ class ContourLedger:
         """Record the contour's critical-path cost-time."""
         if elapsed < -_EPS:
             raise BouquetError("ledger: elapsed cost-time cannot be negative")
+        # Float noise in (-_EPS, 0) passes the guard; clamp it to exactly
+        # zero so total_elapsed and elapsed_suboptimality never go negative.
+        elapsed = max(float(elapsed), 0.0)
         if elapsed > self.work * (1.0 + _EPS):
             raise BouquetError(
                 f"ledger: contour {self.index} elapsed {elapsed:.4g} exceeds "
                 f"its total work {self.work:.4g}"
             )
-        self.elapsed = float(elapsed)
+        self.elapsed = elapsed
 
 
 class BudgetLedger:

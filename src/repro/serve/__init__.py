@@ -12,7 +12,7 @@ model (§4.2) into a working subsystem:
   graceful degradation to the native-optimizer path.
 """
 
-from .cache import BouquetArtifactStore, STORE_FORMAT
+from .cache import BouquetArtifactStore, LEGACY_STORE_FORMATS, STORE_FORMAT
 from .fingerprint import (
     ArtifactKey,
     artifact_key,
@@ -26,6 +26,7 @@ __all__ = [
     "ArtifactKey",
     "BouquetArtifactStore",
     "BouquetServer",
+    "LEGACY_STORE_FORMATS",
     "STORE_FORMAT",
     "ServeResult",
     "artifact_key",

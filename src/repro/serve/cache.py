@@ -14,25 +14,38 @@ Telemetry (all through the attached tracer, zero-overhead when null):
 * ``serve.cache.store`` — artifacts written;
 * ``serve.cache.evict`` — memory-LRU evictions (the disk copy remains);
 * ``serve.cache.invalidated`` — entries dropped because their
-  statistics fingerprint no longer matches the live catalog.
+  statistics fingerprint no longer matches the live catalog;
+* ``serve.cache.purged`` — corrupt or key-mismatched disk envelopes
+  deleted on lookup (instead of being re-parsed forever).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from ..exceptions import BouquetError
+from ..exceptions import BouquetError, ReproError
 from ..obs.tracer import NULL_TRACER, Tracer
 from .fingerprint import ArtifactKey
 
-__all__ = ["BouquetArtifactStore", "STORE_FORMAT"]
+__all__ = ["BouquetArtifactStore", "LEGACY_STORE_FORMATS", "STORE_FORMAT"]
 
 #: Format tag of the on-disk cache envelope (key + artifact payload).
-STORE_FORMAT = "repro.serve.artifact.v1"
+#: v2 envelopes are structurally identical to v1 but are written under
+#: the full-key validation contract: a lookup matches only when *all*
+#: three key digests agree, and envelopes that fail validation (or fail
+#: to parse) are purged rather than silently skipped.
+STORE_FORMAT = "repro.serve.artifact.v2"
+
+#: Older envelope versions the store still reads (write path is always
+#: the current format).
+LEGACY_STORE_FORMATS = ("repro.serve.artifact.v1",)
+
+_READABLE_FORMATS = (STORE_FORMAT,) + LEGACY_STORE_FORMATS
 
 
 class BouquetArtifactStore:
@@ -122,7 +135,7 @@ class BouquetArtifactStore:
         if self.root is not None:
             path = self._path(digest)
             if os.path.exists(path):
-                compiled = self._load_disk(path, key, catalog, query)
+                compiled = self._load_disk(path, key, catalog, query, tracer)
                 if compiled is not None:
                     with self._lock:
                         self._insert_memory(key, compiled, tracer)
@@ -150,10 +163,23 @@ class BouquetArtifactStore:
                 },
                 "artifact": compiled.to_dict(),
             }
-            tmp = self._path(digest) + ".tmp"
-            with open(tmp, "w") as handle:
-                json.dump(envelope, handle)
-            os.replace(tmp, self._path(digest))
+            # A unique temp file per writer: concurrent puts of the same
+            # digest must never interleave JSON into a shared scratch
+            # path; whichever os.replace lands last wins with a complete
+            # envelope.
+            fd, tmp = tempfile.mkstemp(
+                prefix=f"{digest}.", suffix=".tmp", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(envelope, handle)
+                os.replace(tmp, self._path(digest))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         if tracer.enabled:
             tracer.count("serve.cache.store")
 
@@ -166,20 +192,118 @@ class BouquetArtifactStore:
             if tracer.enabled:
                 tracer.count("serve.cache.evict")
 
-    def _load_disk(self, path: str, key: ArtifactKey, catalog, query):
+    def _purge(self, path: str, tracer: Tracer, reason: str) -> None:
+        """Delete an unusable disk envelope so it is not re-parsed (and
+        re-rejected) on every subsequent lookup."""
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        if tracer.enabled:
+            tracer.count("serve.cache.purged")
+            tracer.event("serve.cache.purge", path=path, reason=reason)
+
+    def _load_disk(
+        self,
+        path: str,
+        key: ArtifactKey,
+        catalog,
+        query,
+        tracer: Optional[Tracer] = None,
+    ):
         from ..api import CompiledBouquet
 
+        tracer = tracer if tracer is not None else self.tracer
         try:
             with open(path) as handle:
                 envelope = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             return None
-        if envelope.get("format") != STORE_FORMAT:
+        except ValueError:
+            self._purge(path, tracer, "unparseable")
             return None
+        if envelope.get("format") not in _READABLE_FORMATS:
+            self._purge(path, tracer, "unknown-format")
+            return None
+        # The on-disk name is a hash of the combined key, so a name
+        # collision aside, a mismatch here means the envelope was written
+        # for a *different* (query, statistics, config) world — validate
+        # every component, not just the statistics digest, or a stale or
+        # tampered file rehydrates the wrong artifact.
         stored = envelope.get("key", {})
-        if stored.get("statistics_digest") != key.statistics_digest:
+        if (
+            stored.get("query_digest") != key.query_digest
+            or stored.get("statistics_digest") != key.statistics_digest
+            or stored.get("config_digest") != key.config_digest
+        ):
+            self._purge(path, tracer, "key-mismatch")
             return None
-        return CompiledBouquet.from_dict(envelope["artifact"], catalog, query)
+        try:
+            return CompiledBouquet.from_dict(envelope["artifact"], catalog, query)
+        except (ReproError, KeyError, TypeError, ValueError):
+            self._purge(path, tracer, "bad-artifact")
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance accessors
+    # ------------------------------------------------------------------
+
+    def stale_entries(self, current_fingerprint: str, catalog):
+        """``(key, compiled)`` for every cached artifact keyed to a
+        statistics fingerprint other than ``current_fingerprint`` —
+        memory tier first, then disk envelopes not already seen
+        (rehydrated through their stored SQL when possible).
+
+        This is the server patch path's work list: each entry is a
+        candidate for :func:`repro.drift.refresh.patch_compiled` before
+        :meth:`invalidate_statistics` sweeps whatever could not be
+        patched.
+        """
+        from ..api import CompiledBouquet
+
+        with self._lock:
+            entries = list(self._memory.values())
+        results, seen = [], set()
+        for key, compiled in entries:
+            if key.statistics_digest != current_fingerprint:
+                results.append((key, compiled))
+                seen.add(key.digest)
+        if self.root is not None and os.path.isdir(self.root):
+            for name in sorted(os.listdir(self.root)):
+                if not name.endswith(".json"):
+                    continue
+                digest = name[: -len(".json")]
+                if digest in seen:
+                    continue
+                path = os.path.join(self.root, name)
+                try:
+                    with open(path) as handle:
+                        envelope = json.load(handle)
+                except (OSError, ValueError):
+                    continue
+                if envelope.get("format") not in _READABLE_FORMATS:
+                    continue
+                stored = envelope.get("key", {})
+                if stored.get("statistics_digest") == current_fingerprint:
+                    continue
+                try:
+                    compiled = CompiledBouquet.from_dict(
+                        envelope.get("artifact", {}), catalog, None
+                    )
+                except (ReproError, KeyError, TypeError, ValueError):
+                    continue
+                results.append(
+                    (
+                        ArtifactKey(
+                            query_text=stored.get("query_text", ""),
+                            query_digest=stored.get("query_digest", ""),
+                            statistics_digest=stored.get("statistics_digest", ""),
+                            config_digest=stored.get("config_digest", ""),
+                        ),
+                        compiled,
+                    )
+                )
+        return results
 
     # ------------------------------------------------------------------
     # Invalidation

@@ -17,8 +17,9 @@ canned queries.  :class:`BouquetServer` makes that operational:
 * executions run with per-request budgets
   (:class:`repro.api.BudgetCappedService`) and report
   ``budget-exhausted`` instead of an MSO-guaranteed result when capped;
-* :meth:`refresh_statistics` swaps the catalog's world view and
-  invalidates every artifact compiled against the old fingerprint.
+* :meth:`refresh_statistics` swaps the catalog's world view, patches
+  every cached artifact the delta-refresh engine can carry over
+  (:mod:`repro.drift`), and invalidates the rest.
 
 The degradation ladder, top to bottom: memory hit → disk hit →
 single-flight compile → NAT fallback → failure.
@@ -408,17 +409,60 @@ class BouquetServer:
     # ------------------------------------------------------------------
 
     def refresh_statistics(
-        self, statistics: Optional[DatabaseStatistics]
+        self, statistics: Optional[DatabaseStatistics], *, patch: bool = True
     ) -> int:
-        """Swap in a new statistics world view and invalidate every cached
-        artifact compiled against the old one.  Returns the number of
-        entries dropped."""
+        """Swap in a new statistics world view.
+
+        With ``patch=True`` (the default) every cached artifact keyed to
+        the old fingerprint is first offered to the delta-refresh engine
+        (:func:`repro.drift.refresh.patch_compiled`): artifacts whose
+        compile-visible inputs are unchanged — or changed only in a few
+        base selectivities — are re-keyed under the new fingerprint after
+        re-planning just the drift-suspect ESS locations (counter
+        ``serve.cache.patched``).  Whatever cannot be patched (the drift
+        moved the error dimensions, the grid, or the patch failed) is
+        swept by the invalidation fallback, exactly as before.  Returns
+        the number of entries dropped.
+        """
+        old_statistics = self.catalog.statistics
         self.catalog.statistics = statistics
         fingerprint = statistics_fingerprint(statistics)
+        if patch and fingerprint != statistics_fingerprint(old_statistics):
+            self._patch_artifacts(fingerprint, old_statistics)
         removed = self.store.invalidate_statistics(fingerprint, tracer=self.tracer)
         if self.tracer.enabled:
             self.tracer.count("serve.statistics_refreshes")
         return removed
+
+    def _patch_artifacts(
+        self, fingerprint: str, old_statistics: Optional[DatabaseStatistics]
+    ) -> int:
+        """Re-key every patchable stale artifact under ``fingerprint``."""
+        from ..drift.refresh import patch_compiled
+
+        patched = 0
+        with self.tracer.span("serve.patch_artifacts"):
+            for _old_key, compiled in self.store.stale_entries(
+                fingerprint, self.catalog
+            ):
+                try:
+                    outcome = patch_compiled(
+                        compiled,
+                        self.catalog,
+                        old_statistics=old_statistics,
+                        tracer=self.tracer,
+                    )
+                except ReproError:
+                    # Not patchable — the invalidation sweep drops it.
+                    continue
+                new_key = artifact_key(
+                    outcome.compiled.query, self.catalog.statistics, compiled.config
+                )
+                self.store.put(new_key, outcome.compiled, tracer=self.tracer)
+                patched += 1
+                if self.tracer.enabled:
+                    self.tracer.count("serve.cache.patched")
+        return patched
 
     def stats(self) -> Dict[str, Dict]:
         """Point-in-time serving statistics (counters + store occupancy)."""

@@ -1,0 +1,103 @@
+"""Statistics deltas: field-level diffing, the estimator mapping, and
+the drift injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drift import perturb_statistics, statistics_delta
+from repro.serve import statistics_fingerprint
+
+
+def test_identical_statistics_give_empty_delta(statistics):
+    delta = statistics_delta(statistics, statistics)
+    assert delta.is_empty
+    assert delta.drifted_tables == []
+    assert "empty" in delta.describe()
+
+
+def test_value_drift_reports_column_but_not_ndv(statistics):
+    drifted = perturb_statistics(statistics, "part", "p_retailprice", scale=1.2)
+    delta = statistics_delta(statistics, drifted)
+    assert delta.drifted_tables == ["part"]
+    (entry,) = [t for t in delta.tables if t.table == "part"]
+    assert entry.columns == ("p_retailprice",)
+    assert entry.ndv_columns == ()  # value drift is invisible to joins
+    assert not entry.row_count_changed
+    assert "part" in delta.describe()
+
+
+def test_distinct_drift_marks_ndv_subset(statistics):
+    drifted = perturb_statistics(
+        statistics, "orders", "o_orderkey", scale=1.0, distinct_scale=1.5
+    )
+    delta = statistics_delta(statistics, drifted)
+    (entry,) = [t for t in delta.tables if t.table == "orders"]
+    assert entry.columns == ("o_orderkey",)
+    assert entry.ndv_columns == ("o_orderkey",)
+
+
+def test_row_scale_marks_row_count_only(statistics):
+    drifted = perturb_statistics(
+        statistics, "orders", None, scale=1.0, row_scale=2.0
+    )
+    delta = statistics_delta(statistics, drifted)
+    (entry,) = [t for t in delta.tables if t.table == "orders"]
+    assert entry.row_count_changed
+    assert entry.columns == ()
+
+
+def test_whole_table_perturbation_touches_every_column(statistics):
+    drifted = perturb_statistics(statistics, "region", None, scale=1.1)
+    delta = statistics_delta(statistics, drifted)
+    (entry,) = [t for t in delta.tables if t.table == "region"]
+    assert set(entry.columns) == set(statistics.table("region").column_names)
+
+
+def test_none_side_reports_added_and_removed(statistics):
+    added = statistics_delta(None, statistics)
+    assert all(t.added for t in added.tables)
+    removed = statistics_delta(statistics, None)
+    assert all(t.removed for t in removed.tables)
+    assert statistics_delta(None, None).is_empty
+
+
+def test_moved_pids_follow_the_estimator(statistics, eq_query):
+    # Selection estimates read every field of their column...
+    sel_drift = statistics_delta(
+        statistics, perturb_statistics(statistics, "part", "p_retailprice", scale=1.2)
+    )
+    assert sel_drift.moved_pids(eq_query) == [eq_query.selections[0].pid]
+
+    # ...but a join estimate is 1/max(ndv), so value drift on a join
+    # column moves nothing, while distinct drift moves the join.
+    join = [j for j in eq_query.joins if "o_orderkey" in j.pid][0]
+    value_drift = statistics_delta(
+        statistics, perturb_statistics(statistics, "orders", "o_orderkey", scale=1.4)
+    )
+    assert value_drift.moved_pids(eq_query) == []
+    ndv_drift = statistics_delta(
+        statistics,
+        perturb_statistics(
+            statistics, "orders", "o_orderkey", scale=1.0, distinct_scale=1.5
+        ),
+    )
+    assert ndv_drift.moved_pids(eq_query) == [join.pid]
+
+    # Drift on a table the query never touches moves nothing.
+    foreign = statistics_delta(
+        statistics, perturb_statistics(statistics, "customer", None, scale=1.3)
+    )
+    assert foreign.moved_pids(eq_query) == []
+
+
+def test_perturbation_is_a_deep_copy_with_a_new_fingerprint(statistics):
+    before = statistics_fingerprint(statistics)
+    drifted = perturb_statistics(statistics, "part", "p_retailprice", scale=1.05)
+    # The original is untouched (same fingerprint), the copy differs.
+    assert statistics_fingerprint(statistics) == before
+    assert statistics_fingerprint(drifted) != before
+    original = statistics.table("part").column("p_retailprice")
+    scaled = drifted.table("part").column("p_retailprice")
+    assert scaled.max_value == pytest.approx(original.max_value * 1.05)
+    assert original.max_value != scaled.max_value

@@ -47,6 +47,20 @@ class TestContourLedger:
         with pytest.raises(BouquetError):
             account.set_elapsed(10.001)  # exceeds total work
 
+    def test_elapsed_clamps_float_noise_to_zero(self):
+        """Timer arithmetic can produce values a hair below zero (e.g.
+        ``t1 - t0`` across a clock adjustment); anything within the
+        epsilon band is clamped to exactly 0.0 instead of rejected."""
+        account = make_ledger().open_contour(1, budget=10.0)
+        account.charge(1, 4.0)
+        account.set_elapsed(-1e-9)
+        assert account.elapsed == 0.0
+        account.set_elapsed(-9.9e-7)  # still inside the epsilon band
+        assert account.elapsed == 0.0
+        # A genuinely negative duration is a caller bug, not noise.
+        with pytest.raises(BouquetError):
+            account.set_elapsed(-1e-3)
+
     def test_non_positive_budget_rejected(self):
         with pytest.raises(BouquetError):
             make_ledger().open_contour(1, budget=0.0)

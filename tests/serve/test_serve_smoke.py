@@ -31,39 +31,38 @@ def test_smoke_run_amortizes(tmp_path):
     assert "warm optimizer calls" in text
 
 
-def test_report_verdict_logic():
-    good = ServeSmokeReport(
+def _report(**overrides):
+    base = dict(
         queries=2,
         cold_seconds=1.0,
         warm_seconds=0.1,
         cold_optimizer_calls=64,
         warm_optimizer_calls=0,
         warm_sources=["memory", "disk"],
+        refresh_optimizer_calls=0,
+        refresh_sources=["memory", "memory"],
+        patched_artifacts=2,
     )
+    base.update(overrides)
+    return ServeSmokeReport(**base)
+
+
+def test_report_verdict_logic():
+    good = _report()
     assert good.speedup == 10.0
     assert good.ok
 
-    assert not ServeSmokeReport(
-        queries=2,
-        cold_seconds=1.0,
-        warm_seconds=0.1,
-        cold_optimizer_calls=64,
-        warm_optimizer_calls=2,  # optimizer ran on the warm pass
-        warm_sources=["memory", "memory"],
+    # optimizer ran on the warm pass
+    assert not _report(
+        warm_optimizer_calls=2, warm_sources=["memory", "memory"]
     ).ok
-    assert not ServeSmokeReport(
-        queries=2,
-        cold_seconds=1.0,
-        warm_seconds=0.5,  # only 2x
-        cold_optimizer_calls=64,
-        warm_optimizer_calls=0,
-        warm_sources=["memory", "memory"],
-    ).ok
-    assert not ServeSmokeReport(
-        queries=2,
-        cold_seconds=1.0,
-        warm_seconds=0.1,
-        cold_optimizer_calls=64,
-        warm_optimizer_calls=0,
-        warm_sources=["memory", "compiled"],  # a warm miss
-    ).ok
+    # only 2x speedup
+    assert not _report(warm_seconds=0.5).ok
+    # a warm miss
+    assert not _report(warm_sources=["memory", "compiled"]).ok
+    # the statistics refresh failed to patch every artifact across
+    assert not _report(patched_artifacts=1).ok
+    # a post-refresh request fell through to a recompile
+    assert not _report(refresh_sources=["memory", "compiled"]).ok
+    # the optimizer ran after the refresh
+    assert not _report(refresh_optimizer_calls=32).ok

@@ -170,12 +170,34 @@ def test_compile_failure_degrades_to_native_path(catalog, small_config, tracer):
         assert counters["serve.degraded"] == 1
 
 
-def test_refresh_statistics_invalidates_and_recompiles(server, catalog, database):
+def test_refresh_statistics_patches_cached_artifacts(server, catalog, database):
     assert server.serve(SQL).cache == "compiled"
     assert server.serve(SQL).cache == "memory"
 
     new_stats = database.build_statistics(sample_size=800, seed=5)
     dropped = server.refresh_statistics(new_stats)
+    assert catalog.statistics is new_stats
+
+    # The delta patch carried the artifact across the fingerprint change:
+    # the next request is a cache hit, not a recompile.
+    refreshed = server.serve(SQL)
+    assert refreshed.status == "ok"
+    assert refreshed.cache == "memory"
+    counters = server.stats()["counters"]
+    assert counters["serve.statistics_refreshes"] == 1
+    assert counters["serve.cache.patched"] == 1
+    # The stale-fingerprint original was still swept out.
+    assert dropped == 1
+    assert counters["serve.cache.invalidated"] == 1
+
+
+def test_refresh_statistics_without_patching_recompiles(
+    server, catalog, database
+):
+    assert server.serve(SQL).cache == "compiled"
+
+    new_stats = database.build_statistics(sample_size=800, seed=5)
+    dropped = server.refresh_statistics(new_stats, patch=False)
     assert dropped == 1
     assert catalog.statistics is new_stats
 
@@ -185,6 +207,7 @@ def test_refresh_statistics_invalidates_and_recompiles(server, catalog, database
     counters = server.stats()["counters"]
     assert counters["serve.statistics_refreshes"] == 1
     assert counters["serve.cache.invalidated"] == 1
+    assert counters.get("serve.cache.patched", 0) == 0
 
 
 def test_serving_requires_a_database(schema, statistics, small_config):
