@@ -21,6 +21,11 @@
 #                     rebuild under statistics drift; writes BENCH_drift.json
 #                     and fails above 20% re-planned locations, under 5x
 #                     savings, or on any plan/cost/contour divergence
+#   make bench-serve  load-test the async multi-tenant front-end (simulated
+#                     + real-asyncio passes); writes BENCH_serve.json and
+#                     fails on any silent drop or untyped response
+#   make serve-load-smoke  fast simulated-only load gate: >= 2000 concurrent
+#                     sessions, every request answered with a typed response
 #   make bench        regenerate every paper table/figure
 #   make experiments  bench + rebuild EXPERIMENTS.md
 #   make examples     run the example scripts end to end
@@ -29,7 +34,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench-serve serve-load-smoke bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -50,7 +55,7 @@ serve-smoke:
 
 check: lint serve-smoke
 
-ci: lint sweep-smoke compile-smoke drift-smoke
+ci: lint sweep-smoke compile-smoke drift-smoke serve-load-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench-sched:
@@ -81,6 +86,15 @@ bench-drift:
 drift-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.drift --resolution 10
 
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.serve_load --real-server \
+		--out BENCH_serve.json
+
+# Fast simulated-only pass of the serve load harness (zero-silent-drop
+# and >= 2000 concurrent session gates; deterministic, sub-second).
+serve-load-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.serve_load --smoke
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -93,6 +107,7 @@ examples:
 	$(PYTHON) examples/robust_dashboard.py
 	$(PYTHON) examples/strategy_faceoff.py
 	$(PYTHON) examples/canned_query_service.py
+	$(PYTHON) examples/async_service.py
 	$(PYTHON) examples/plan_diagram_gallery.py
 
 all: test experiments examples

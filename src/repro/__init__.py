@@ -14,9 +14,11 @@ Typical usage (the :mod:`repro.api` facade)::
     compiled = compile_bouquet(sql, catalog, config=BouquetConfig(resolution=24))
     result = execute(compiled, db)
 
-For cached, concurrent serving see :mod:`repro.serve`
-(``BouquetServer`` over a content-addressed ``BouquetArtifactStore``);
-for paper-style ESS-wide experiment sweeps::
+For cached, concurrent, multi-tenant serving see :mod:`repro.serve`
+(``BouquetServer`` over a content-addressed ``BouquetArtifactStore``,
+fronted by ``ServeGateway`` admission control and the asyncio
+``BouquetFrontEnd`` speaking ``ServeRequest``/``ServeResponse``
+envelopes); for paper-style ESS-wide experiment sweeps::
 
     from repro import Lab, simulate_at
 
@@ -50,7 +52,6 @@ from .core import (
 from .core.advisor import ProcessingMode, Recommendation, recommend_processing_mode
 from .core.maintenance import RefreshResult, refresh_bouquet
 from .core.runtime import AbstractExecutionService
-from .core.session import BouquetSession, CompiledQuery
 from .core.validation import ValidationReport, validate_bouquet
 from .datagen import Database
 from .ess import ErrorDimension, PlanDiagram, SelectivitySpace
@@ -84,7 +85,18 @@ from .optimizer import (
 from .query import JoinPredicate, Query, SelectionPredicate, parse_query
 from .query.workload import TABLE2_NAMES, WorkloadQuery, full_workload
 from .robustness import NativeOptimizerStrategy, ReoptStrategy, SeerStrategy
-from .serve import ArtifactKey, BouquetArtifactStore, BouquetServer, ServeResult
+from .runtime import AsyncioRuntime, Runtime, SimulatedRuntime, SyncRuntime
+from .serve import (
+    ArtifactKey,
+    BouquetArtifactStore,
+    BouquetFrontEnd,
+    BouquetServer,
+    ServeGateway,
+    ServeRequest,
+    ServeResponse,
+    ServeResult,
+    TenantQuota,
+)
 
 __version__ = "1.0.0"
 
@@ -98,9 +110,18 @@ __all__ = [
     "execute",
     "simulate",
     "ArtifactKey",
+    "AsyncioRuntime",
     "BouquetArtifactStore",
+    "BouquetFrontEnd",
     "BouquetServer",
+    "Runtime",
+    "ServeGateway",
+    "ServeRequest",
+    "ServeResponse",
     "ServeResult",
+    "SimulatedRuntime",
+    "SyncRuntime",
+    "TenantQuota",
     "Lab",
     "QueryLab",
     "shared_lab",
@@ -149,8 +170,6 @@ __all__ = [
     "recommend_processing_mode",
     "RefreshResult",
     "refresh_bouquet",
-    "BouquetSession",
-    "CompiledQuery",
     "TABLE2_NAMES",
     "WorkloadQuery",
     "full_workload",

@@ -19,8 +19,10 @@ Typical usage::
     compiled = compile_bouquet(sql, catalog, config=BouquetConfig(resolution=24))
     result = execute(compiled, db)
 
-The legacy surface (:class:`~repro.core.session.BouquetSession`) keeps
-working as a thin deprecation shim that delegates here.
+``execute``/``simulate`` also accept the serving layer's
+:class:`~repro.serve.envelope.ServeRequest` envelope via ``request=``,
+so the in-process API, the asyncio HTTP front-end, and the CLI all
+speak one calling convention.
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, replace
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .catalog.schema import Schema
 from .catalog.statistics import DatabaseStatistics
@@ -107,6 +109,12 @@ class BouquetConfig:
     location at a time.  Both produce byte-identical artifacts, so the
     engine is deliberately **not** a compile knob — it never enters the
     artifact cache key.
+
+    ``patch`` governs statistics-refresh maintenance: when enabled
+    (default) a refresh first offers every cached artifact to the
+    delta-refresh engine (:mod:`repro.drift`) before falling back to
+    invalidation.  Like the engine and crossing knobs it is a runtime
+    knob — never part of the artifact cache key.
     """
 
     ratio: float = 2.0
@@ -118,6 +126,7 @@ class BouquetConfig:
     model_error_delta: float = 0.0
     cost_model: str = "postgres"
     compile_engine: str = "batch"
+    patch: bool = True
 
     def __post_init__(self):
         if self.ratio <= 1.0:
@@ -145,6 +154,8 @@ class BouquetConfig:
                 f"config: unknown compile engine {self.compile_engine!r} "
                 f"(expected one of {list(COMPILE_ENGINES)})"
             )
+        if not isinstance(self.patch, bool):
+            raise BouquetError("config: patch must be a bool")
 
     @property
     def cost_model_object(self) -> CostModel:
@@ -179,12 +190,14 @@ class BouquetConfig:
             "model_error_delta": self.model_error_delta,
             "cost_model": self.cost_model,
             "compile_engine": self.compile_engine,
+            "patch": self.patch,
         }
 
     @staticmethod
     def from_dict(data: Mapping[str, object]) -> "BouquetConfig":
-        # Artifacts written before the batch engine existed carry no
-        # ``compile_engine`` key; the dataclass default covers them.
+        # Artifacts written before the batch engine (``compile_engine``)
+        # or the maintenance knob (``patch``) existed omit those keys;
+        # the dataclass defaults cover them.
         return BouquetConfig(**dict(data))
 
 
@@ -395,7 +408,7 @@ def _compile_pipeline(
     sql: Optional[str],
     span_name: str = "api.compile",
 ) -> CompiledBouquet:
-    """The shared compile core (also entered by the deprecated session)."""
+    """The shared compile core (also entered by the serving layer)."""
     if optimizer is None:
         optimizer = catalog.optimizer(config, tracer=tracer)
     if dimensions is None:
@@ -496,10 +509,34 @@ class BudgetCappedService(ExecutionService):
         return self._charge(outcome, truncated=allowed < budget)
 
 
+def _apply_envelope(
+    request: Optional["object"],
+    budget: Optional[float],
+    mode: Optional[str],
+    crossing: Optional[str],
+) -> Tuple[Optional[float], Optional[str], Optional[str]]:
+    """Fold a :class:`~repro.serve.envelope.ServeRequest` into the
+    per-run knobs.  The envelope and the bare keywords are mutually
+    exclusive — one canonical calling convention, no silent merging."""
+    if request is None:
+        return budget, mode, crossing
+    from .serve.envelope import ServeRequest
+
+    if not isinstance(request, ServeRequest):
+        raise BouquetError("request must be a repro.serve.ServeRequest")
+    if any(v is not None for v in (budget, mode, crossing)):
+        raise BouquetError(
+            "pass knobs inside the ServeRequest envelope, not as keywords"
+        )
+    request.validate()
+    return request.budget, request.mode, request.crossing
+
+
 def execute(
     compiled: CompiledBouquet,
     data: Optional[Database] = None,
     *,
+    request: Optional["object"] = None,
     budget: Optional[float] = None,
     mode: Optional[str] = None,
     crossing: Optional[str] = None,
@@ -508,15 +545,19 @@ def execute(
 ) -> BouquetRunResult:
     """Run the bouquet for real against ``data`` (or the catalog's database).
 
-    ``budget`` caps the *total* cost the request may spend across every
-    partial execution; exceeding it raises
-    :class:`~repro.exceptions.BudgetExceeded`.  ``crossing`` overrides the
-    config's contour-crossing strategy for this one request (see
-    :mod:`repro.sched`).
+    ``request`` may be a :class:`~repro.serve.envelope.ServeRequest` —
+    the same envelope the serving layer speaks — in which case the
+    budget/mode/crossing knobs are taken from it.  Otherwise: ``budget``
+    caps the *total* cost the request may spend across every partial
+    execution (exceeding it raises
+    :class:`~repro.exceptions.BudgetExceeded`) and ``crossing``
+    overrides the config's contour-crossing strategy for this one run
+    (see :mod:`repro.sched`).
     """
     from .executor.engine import ExecutionEngine
     from .executor.service import RealExecutionService
 
+    budget, mode, crossing = _apply_envelope(request, budget, mode, crossing)
     if data is None:
         raise BouquetError("no database given; use simulate() instead")
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -544,12 +585,19 @@ def simulate(
     compiled: CompiledBouquet,
     qa_values: Sequence[float],
     *,
+    request: Optional["object"] = None,
     mode: Optional[str] = None,
     crossing: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     span_name: str = "api.simulate",
 ) -> BouquetRunResult:
-    """Cost-model-world run against a hypothetical actual location."""
+    """Cost-model-world run against a hypothetical actual location.
+
+    Accepts the same :class:`~repro.serve.envelope.ServeRequest`
+    envelope as :func:`execute` (mode/crossing; a budget on the envelope
+    is ignored — simulation is cost-model arithmetic, not spend).
+    """
+    _budget, mode, crossing = _apply_envelope(request, None, mode, crossing)
     tracer = tracer if tracer is not None else NULL_TRACER
     config = compiled.config
     run_mode = mode if mode is not None else config.mode

@@ -11,8 +11,13 @@ A third pass then injects a small statistics drift and calls
 :meth:`~repro.serve.BouquetServer.refresh_statistics`: the patch path
 must carry every cached artifact across the fingerprint change
 (``serve.cache.patched``), so the post-refresh pass is again all cache
-hits with zero optimizer work.  ``make serve-smoke`` /
-``repro serve-smoke`` gate on this.
+hits with zero optimizer work.
+
+A final taxonomy pass drives one request down each arm of the outcome
+ladder — answered (``ok``), admission-rejected (``shed``), NAT-degraded
+(``degraded``), and unparseable (``failed``) — and asserts the four
+stay *distinct* statuses with their expected ``error_code``\\ s.
+``make serve-smoke`` / ``repro serve-smoke`` gate on all of it.
 """
 
 from __future__ import annotations
@@ -26,7 +31,11 @@ from ..catalog.tpch import tpch_generator_spec, tpch_schema
 from ..datagen.database import Database
 from ..drift import perturb_statistics
 from ..obs.tracer import MemorySink, Tracer
+from ..runtime import SimulatedRuntime
+from ..serve.admission import TenantQuota
 from ..serve.cache import BouquetArtifactStore
+from ..serve.envelope import ServeRequest
+from ..serve.front import ServeGateway
 from ..serve.server import BouquetServer
 
 __all__ = ["CANNED_WORKLOAD", "ServeSmokeReport", "run_serve_smoke"]
@@ -70,6 +79,8 @@ class ServeSmokeReport:
     refresh_optimizer_calls: float = 0.0
     refresh_sources: List[str] = field(default_factory=list)
     patched_artifacts: float = 0.0
+    #: taxonomy pass: scenario -> (status, error_code) actually observed
+    taxonomy: Dict[str, List[Optional[str]]] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -88,6 +99,21 @@ class ServeSmokeReport:
         )
 
     @property
+    def taxonomy_ok(self) -> bool:
+        """The four outcome arms must be observed as *distinct* statuses
+        with their contracted error codes."""
+        expected = {
+            "ok": ("ok", None),
+            "shed": ("shed", "shed-quota"),
+            "degraded": ("degraded", "cached-only-miss"),
+            "failed": ("failed", "parse-error"),
+        }
+        return all(
+            tuple(self.taxonomy.get(name, (None, None))) == want
+            for name, want in expected.items()
+        )
+
+    @property
     def ok(self) -> bool:
         return (
             self.all_warm_hits
@@ -96,6 +122,7 @@ class ServeSmokeReport:
             and self.all_refresh_hits
             and self.refresh_optimizer_calls == 0
             and self.patched_artifacts >= self.queries
+            and self.taxonomy_ok
         )
 
     def describe(self) -> str:
@@ -112,6 +139,14 @@ class ServeSmokeReport:
             ["patched artifacts", f"{self.patched_artifacts:g}"],
             ["post-refresh optimizer calls", f"{self.refresh_optimizer_calls:g}"],
             ["post-refresh sources", ",".join(self.refresh_sources)],
+            [
+                "status taxonomy",
+                "; ".join(
+                    f"{name}={status}/{code or '-'}"
+                    for name, (status, code) in sorted(self.taxonomy.items())
+                )
+                + (" (distinct)" if self.taxonomy_ok else " (NOT distinct)"),
+            ],
             ["verdict", "OK" if self.ok else "FAIL"],
         ]
         return format_table(["serve smoke", "value"], rows, title="serve smoke")
@@ -164,6 +199,34 @@ def run_serve_smoke(
             _, source = server.compile(sql)
             refresh_sources.append(source)
         calls3 = _optimized_locations(tracer)
+
+        # Taxonomy pass: one request down each outcome arm, through a
+        # gateway whose frozen virtual clock makes admission
+        # deterministic (burst 1, no refill -> the second request is
+        # guaranteed to shed).
+        gateway = ServeGateway(
+            server,
+            runtime=SimulatedRuntime(),
+            default_quota=TenantQuota(rate=1.0, burst=1.0, max_queue=4),
+            tracer=tracer,
+        )
+        probes = {
+            "ok": gateway.handle(CANNED_WORKLOAD[0]),
+            "shed": gateway.handle(CANNED_WORKLOAD[1]),
+            "degraded": server.serve_request(
+                ServeRequest(
+                    query="select * from part where p_retailprice < 777",
+                    cached_only=True,
+                )
+            ),
+            "failed": server.serve_request(
+                ServeRequest(query="definitely not sql (")
+            ),
+        }
+        taxonomy = {
+            name: [response.status, response.error_code]
+            for name, response in probes.items()
+        }
     return ServeSmokeReport(
         queries=len(CANNED_WORKLOAD),
         cold_seconds=cold_seconds,
@@ -176,4 +239,5 @@ def run_serve_smoke(
         refresh_optimizer_calls=calls3 - calls2,
         refresh_sources=refresh_sources,
         patched_artifacts=tracer.counters.get("serve.cache.patched", 0),
+        taxonomy=taxonomy,
     )

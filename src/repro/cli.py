@@ -19,12 +19,20 @@ across machines:
   single-flight coalescing, degradations) of a JSONL trace;
 * ``serve-smoke`` — compile-cache the canned workload twice and verify
   the warm pass is all cache hits and at least 5x faster;
+* ``serve``   — run the asyncio HTTP/JSON front-end (the v1 envelope
+  protocol: POST /v1/serve, GET /v1/stats, GET /healthz) over a
+  synthetic environment, with per-tenant admission quotas;
+* ``serve-load`` — replay thousands of concurrent sessions against the
+  front-end (simulated fast path or real asyncio) and gate on zero
+  silent drops;
 * ``refresh`` — compile a bouquet, inject localized statistics drift,
   and refresh it: ``--delta`` runs the delta engine (re-planning only
   drift-suspect ESS locations), ``--verify`` checks the result
   bit-for-bit against a full recompile.
 
-Commands are built on the :mod:`repro.api` facade.
+Commands are built on the :mod:`repro.api` facade and the
+:class:`~repro.serve.ServeRequest` envelope — the same calling
+convention the in-process API and the HTTP wire use.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from .exceptions import ReproError
 from .obs import JsonlSink, Tracer, read_trace, summarize_serving, summarize_trace
 from .optimizer.explain import explain as explain_plan
 from .query.sql import parse_query
+from .serve.envelope import ServeRequest
 
 
 def _session_tracer(args) -> Tracer:
@@ -126,7 +135,7 @@ def _cmd_compile(args) -> int:
         ratio=args.ratio,
         lambda_=args.anorexic_lambda,
         resolution=args.resolution,
-        compile_engine=args.engine,
+        compile_engine=args.compile_engine,
     )
     compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
     _finish_trace(tracer, args)
@@ -163,12 +172,14 @@ def _cmd_run(args) -> int:
     if args.load:
         compiled = CompiledBouquet.load(args.load, catalog, query=args.sql)
     else:
-        config = BouquetConfig(resolution=args.resolution, compile_engine=args.engine)
+        config = BouquetConfig(
+            resolution=args.resolution, compile_engine=args.compile_engine
+        )
         compiled = compile_bouquet(args.sql, catalog, config=config, tracer=tracer)
-    result = api_execute(
-        compiled, catalog.database, mode=args.mode, crossing=args.crossing,
-        tracer=tracer,
+    request = ServeRequest(
+        query=args.sql, mode=args.mode, crossing=args.crossing
     )
+    result = api_execute(compiled, catalog.database, request=request, tracer=tracer)
     _finish_trace(tracer, args)
     for record in result.executions:
         kind = "spilled" if record.spilled else "full"
@@ -294,6 +305,83 @@ def _cmd_serve_smoke(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .runtime import AsyncioRuntime
+    from .serve import (
+        BouquetArtifactStore,
+        BouquetFrontEnd,
+        BouquetServer,
+        ServeGateway,
+        TenantQuota,
+    )
+
+    catalog = _build_catalog(args)
+    tracer = _session_tracer(args)
+    if not tracer.enabled:
+        # /v1/stats reports live counters; a long-running server should
+        # never be blind just because --trace wasn't given.
+        from .obs import MemorySink
+
+        tracer = Tracer(MemorySink())
+    config = BouquetConfig(
+        resolution=args.resolution, compile_engine=args.compile_engine
+    )
+    store = BouquetArtifactStore(root=args.store, tracer=tracer)
+    runtime = AsyncioRuntime(max_workers=args.workers)
+    quota = TenantQuota(
+        rate=args.quota_rate, burst=args.quota_burst, max_queue=args.quota_queue
+    )
+    with BouquetServer(
+        catalog, config=config, store=store, tracer=tracer
+    ) as server:
+        gateway = ServeGateway(
+            server, runtime=runtime, default_quota=quota, tracer=tracer
+        )
+        front = BouquetFrontEnd(
+            gateway, host=args.host, port=args.port, runtime=runtime
+        )
+
+        async def _run() -> None:
+            host, port = await front.start()
+            print(
+                f"serving on http://{host}:{port} "
+                "(POST /v1/serve, GET /v1/stats, GET /healthz; Ctrl-C stops)"
+            )
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await front.stop()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("shutting down")
+    runtime.shutdown()
+    _finish_trace(tracer, args)
+    return 0
+
+
+def _cmd_serve_load(args) -> int:
+    from .bench.serve_load import main as load_main
+
+    argv = [
+        "--sessions", str(args.sessions),
+        "--requests", str(args.requests),
+        "--workers", str(args.workers),
+        "--seed", str(args.seed),
+        "--min-concurrent", str(args.min_concurrent),
+    ]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.real_server:
+        argv.append("--real-server")
+    if args.out:
+        argv.extend(["--out", args.out])
+    return load_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -319,9 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--save", metavar="PATH", default=None)
     p_compile.add_argument("--validate", action="store_true")
     p_compile.add_argument(
-        "--engine", choices=("batch", "reference"), default="batch",
+        "--compile-engine", "--engine", dest="compile_engine",
+        choices=("batch", "reference"), default="batch",
         help="POSP compile engine: slab-batched DP (default) or the "
-        "one-location-at-a-time reference path",
+        "one-location-at-a-time reference path (--engine is a "
+        "deprecated alias)",
     )
     p_compile.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -344,8 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--load", metavar="PATH", default=None)
     p_run.add_argument("--resolution", type=int, default=None)
     p_run.add_argument(
-        "--engine", choices=("batch", "reference"), default="batch",
-        help="POSP compile engine when compiling (ignored with --load)",
+        "--compile-engine", "--engine", dest="compile_engine",
+        choices=("batch", "reference"), default="batch",
+        help="POSP compile engine when compiling (ignored with --load; "
+        "--engine is a deprecated alias)",
     )
     p_run.add_argument("--mode", choices=("basic", "optimized"), default="optimized")
     p_run.add_argument(
@@ -427,6 +519,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the serving telemetry as a JSONL trace",
     )
     p_smoke.set_defaults(func=_cmd_serve_smoke)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP/JSON serving front-end (v1 envelope "
+        "protocol) over a synthetic environment",
+    )
+    _add_env_arguments(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8751)
+    p_serve.add_argument("--resolution", type=int, default=None)
+    p_serve.add_argument(
+        "--compile-engine", "--engine", dest="compile_engine",
+        choices=("batch", "reference"), default="batch",
+        help="POSP compile engine (--engine is a deprecated alias)",
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="artifact store directory (default: memory-only)",
+    )
+    p_serve.add_argument("--workers", type=int, default=8)
+    p_serve.add_argument(
+        "--quota-rate", type=float, default=200.0,
+        help="per-tenant sustained requests/second",
+    )
+    p_serve.add_argument(
+        "--quota-burst", type=float, default=50.0,
+        help="per-tenant instantaneous burst headroom",
+    )
+    p_serve.add_argument(
+        "--quota-queue", type=int, default=64,
+        help="per-tenant in-flight queue slots",
+    )
+    p_serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the serving telemetry as a JSONL trace",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "serve-load",
+        help="replay concurrent sessions against the serving front-end "
+        "and gate on zero silent drops",
+    )
+    p_load.add_argument("--sessions", type=int, default=2400)
+    p_load.add_argument("--requests", type=int, default=3)
+    p_load.add_argument("--workers", type=int, default=48)
+    p_load.add_argument("--seed", type=int, default=42)
+    p_load.add_argument("--min-concurrent", type=int, default=2000)
+    p_load.add_argument(
+        "--smoke", action="store_true",
+        help="simulated mode only (the fast CI gate)",
+    )
+    p_load.add_argument(
+        "--real-server", action="store_true",
+        help="also run the asyncio pass against a genuine BouquetServer",
+    )
+    p_load.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the BENCH_serve.json payload here",
+    )
+    p_load.set_defaults(func=_cmd_serve_load)
     return parser
 
 

@@ -3,7 +3,6 @@
 from .advisor import ProcessingMode, Recommendation, recommend_processing_mode
 from .bouquet import PlanBouquet, identify_bouquet
 from .maintenance import RefreshResult, refresh_bouquet
-from .session import BouquetSession, CompiledQuery
 from .validation import ValidationIssue, ValidationReport, validate_bouquet
 from .bounds import (
     best_achievable_mso,
@@ -45,8 +44,6 @@ __all__ = [
     "recommend_processing_mode",
     "RefreshResult",
     "refresh_bouquet",
-    "BouquetSession",
-    "CompiledQuery",
     "ValidationIssue",
     "ValidationReport",
     "validate_bouquet",

@@ -9,8 +9,8 @@ artifacts keyed by a content hash of those inputs.
 This module owns the wire format.  ``repro.bouquet.v1`` is the original
 session-level format (plans, diagram fields, contours); it is kept
 byte-compatible so artifacts saved by earlier versions keep loading.
-:class:`~repro.core.session.CompiledQuery` and
-:class:`repro.api.CompiledBouquet` both delegate here.
+:class:`repro.api.CompiledBouquet` delegates here (as did the retired
+``BouquetSession``-era ``CompiledQuery``, which wrote the same format).
 """
 
 from __future__ import annotations

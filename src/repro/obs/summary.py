@@ -198,6 +198,17 @@ class ServingSummary:
         return self.optimizer_calls + self.batched_locations
 
     @property
+    def front_requests(self) -> float:
+        """Requests that entered the multi-tenant gateway."""
+        return self._c("serve.front.requests")
+
+    @property
+    def front_shed(self) -> float:
+        return self._c("serve.front.shed.quota") + self._c(
+            "serve.front.shed.queue"
+        )
+
+    @property
     def lookups(self) -> float:
         return (
             self._c("serve.cache.hit_memory")
@@ -241,6 +252,28 @@ class ServingSummary:
             "",
             format_table(["requests", "value"], request_rows, title="request ladder"),
         ]
+        if self.front_requests:
+            completed = sorted(
+                (name.rsplit(".", 1)[1], value)
+                for name, value in self.counters.items()
+                if name.startswith("serve.front.completed.")
+            )
+            front_rows = [
+                ["requests", self.front_requests],
+                ["admitted", self._c("serve.front.admitted")],
+                ["invalid", self._c("serve.front.invalid")],
+                ["shed (quota)", self._c("serve.front.shed.quota")],
+                ["shed (queue full)", self._c("serve.front.shed.queue")],
+                ["degraded by overload", self._c("serve.front.degraded_overload")],
+            ] + [[f"completed {status}", value] for status, value in completed]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["front-end", "value"],
+                    front_rows,
+                    title="admission / shedding",
+                )
+            )
         if self.compile_spans or self.execute_spans:
             lines.append("")
             lines.append(

@@ -1,0 +1,66 @@
+"""The runtime interface: clock, sleeping, and blocking-work dispatch.
+
+Every serving component that needs time or concurrency goes through a
+:class:`Runtime` instead of reaching for :mod:`time` / :mod:`asyncio`
+directly.  That single seam is what makes the front-end testable at
+scale: the same admission controller, token buckets, and gateway run
+against
+
+* :class:`~repro.runtime.sync.SyncRuntime` — real monotonic clock,
+  inline execution (CLI paths, plain threaded callers);
+* :class:`~repro.runtime.aio.AsyncioRuntime` — real clock, blocking
+  work offloaded to a bounded thread pool awaited from the event loop
+  (the HTTP front-end);
+* :class:`~repro.runtime.simulated.SimulatedRuntime` — a virtual clock
+  plus a deterministic event heap, so thousands of concurrent sessions
+  replay instantly and reproducibly (the load harness and CI).
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import Future
+from typing import Any, Callable, ClassVar
+
+
+class Runtime(abc.ABC):
+    """Clock + dispatch abstraction shared by all serving front-ends."""
+
+    #: Registry name ("sync", "asyncio", "simulated").
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Monotonic seconds — wall clock or virtual, runtime's choice."""
+
+    @abc.abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block (or virtually advance) for ``seconds``."""
+
+    @abc.abstractmethod
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Dispatch one unit of (possibly blocking) work.
+
+        Returns a :class:`concurrent.futures.Future`; inline runtimes
+        return it already resolved.
+        """
+
+    def shutdown(self) -> None:  # pragma: no cover - default no-op
+        """Release any pooled resources; idempotent."""
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} now={self.now():.3f}>"
+
+
+def resolved(value: Any) -> Future:
+    """A completed future carrying ``value`` (inline-dispatch helper)."""
+    future: Future = Future()
+    future.set_result(value)
+    return future

@@ -1,0 +1,35 @@
+"""SyncRuntime: real clock, inline execution, no event loop."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from .base import Runtime, resolved
+
+
+class SyncRuntime(Runtime):
+    """The degenerate runtime: everything runs on the caller's thread.
+
+    Used by CLI entry points and plain threaded callers (each thread
+    simply calls into the gateway directly); also the default clock for
+    the admission controller when no runtime is supplied.
+    """
+
+    name = "sync"
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        try:
+            return resolved(fn(*args, **kwargs))
+        except BaseException as exc:  # propagate through the future contract
+            future: Future = Future()
+            future.set_exception(exc)
+            return future

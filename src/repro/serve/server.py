@@ -10,7 +10,7 @@ canned queries.  :class:`BouquetServer` makes that operational:
   one compile runs, the rest coalesce onto its future (counter
   ``serve.singleflight.coalesced``);
 * misses compile on a bounded worker pool; a request whose compile
-  exceeds ``compile_timeout`` **degrades** to the NAT path (one native
+  exceeds its deadline **degrades** to the NAT path (one native
   optimizer call, one unbounded execution — an answer without the MSO
   guarantee) while the compile keeps running in the background so the
   artifact still lands in the cache for later requests;
@@ -21,6 +21,18 @@ canned queries.  :class:`BouquetServer` makes that operational:
   every cached artifact the delta-refresh engine can carry over
   (:mod:`repro.drift`), and invalidates the rest.
 
+The canonical calling convention is the typed envelope pair from
+:mod:`repro.serve.envelope`::
+
+    response = server.serve(ServeRequest(query=sql, budget=1e9))
+    response.status, response.error_code, response.rows
+
+``serve(sql)`` remains as sugar, and the old keyword sprawl
+(``serve(sql, budget=..., mode=..., crossing=..., timeout=...)``) keeps
+working behind a :class:`DeprecationWarning` adapter.  Admission
+control, tenant quotas, and load shedding live one layer up, in
+:class:`repro.serve.front.ServeGateway`.
+
 The degradation ladder, top to bottom: memory hit → disk hit →
 single-flight compile → NAT fallback → failure.
 """
@@ -28,6 +40,8 @@ single-flight compile → NAT fallback → failure.
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
@@ -42,56 +56,22 @@ from ..api import (
     execute as api_execute,
 )
 from ..catalog.statistics import DatabaseStatistics
-from ..core.runtime import BouquetRunResult
 from ..exceptions import BouquetError, BudgetExceeded, ReproError
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..query.query import Query
 from ..query.sql import parse_query
 from ..robustness.nat import native_run
 from .cache import BouquetArtifactStore
+from .envelope import ServeRequest, ServeResponse
 from .fingerprint import ArtifactKey, artifact_key, statistics_fingerprint
 
 __all__ = ["BouquetServer", "ServeResult"]
 
-
-@dataclass
-class ServeResult:
-    """Outcome of one served request.
-
-    ``status`` is one of:
-
-    * ``"ok"`` — bouquet execution completed with the MSO guarantee;
-    * ``"degraded"`` — answered via the native-optimizer fallback
-      (compile failed or timed out); no MSO guarantee;
-    * ``"budget-exhausted"`` — the per-request cost budget ran out
-      mid-bouquet;
-    * ``"failed"`` — no answer could be produced.
-
-    ``cache`` records where the compiled artifact came from:
-    ``"memory"`` / ``"disk"`` (store hits), ``"compiled"`` (this request
-    ran the compile), ``"coalesced"`` (another in-flight request's
-    compile was awaited), or ``"none"`` (never obtained).
-    """
-
-    status: str
-    cache: str
-    query_name: str
-    key: Optional[ArtifactKey] = None
-    result: Optional[BouquetRunResult] = None
-    mso_bound: Optional[float] = None
-    error: Optional[str] = None
-
-    @property
-    def rows(self) -> Optional[int]:
-        return self.result.result_rows if self.result is not None else None
-
-    @property
-    def total_cost(self) -> Optional[float]:
-        return self.result.total_cost if self.result is not None else None
-
-    @property
-    def ok(self) -> bool:
-        return self.status == "ok"
+#: Deprecated alias — the response half of the envelope pair replaced
+#: the old ``ServeResult`` dataclass field-for-field (plus ``status``
+#: values ``"shed"``/``"failed"`` now being distinct, ``error_code``,
+#: tenant identity, and timings).
+ServeResult = ServeResponse
 
 
 @dataclass
@@ -166,14 +146,28 @@ class BouquetServer:
         parsed, _ = self._parse(query)
         return artifact_key(parsed, self.catalog.statistics, self.config)
 
+    def _config_for(self, engine: Optional[str]) -> BouquetConfig:
+        """The server config, with a per-request compile-engine override.
+
+        The engine is cache-neutral (both engines produce byte-identical
+        artifacts), so overriding it never changes the artifact key.
+        """
+        if engine is None or engine == self.config.compile_engine:
+            return self.config
+        return self.config.with_(compile_engine=engine)
+
     def _compile_and_store(
-        self, key: ArtifactKey, query: Query, sql: Optional[str]
+        self,
+        key: ArtifactKey,
+        query: Query,
+        sql: Optional[str],
+        config: Optional[BouquetConfig] = None,
     ) -> CompiledBouquet:
         """Pool task: run the compile pipeline and publish the artifact."""
         compiled = _compile_pipeline(
             query,
             self.catalog,
-            self.config,
+            config if config is not None else self.config,
             None,
             None,
             self.tracer,
@@ -186,7 +180,10 @@ class BouquetServer:
         return compiled
 
     def compile(
-        self, query: Union[str, Query], timeout: Optional[float] = None
+        self,
+        query: Union[str, Query],
+        timeout: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> Tuple[CompiledBouquet, str]:
         """Obtain the compiled bouquet for ``query``; returns
         ``(compiled, source)`` where source is ``memory``/``disk``/
@@ -195,7 +192,8 @@ class BouquetServer:
         Raises :class:`FutureTimeoutError` when the (possibly coalesced)
         compile does not finish within ``timeout`` (default: the
         server's ``compile_timeout``); the compile itself keeps running
-        and will still populate the store.
+        and will still populate the store.  ``engine`` overrides the
+        config's compile engine for this request (cache-neutral).
         """
         parsed, sql = self._parse(query)
         key = artifact_key(parsed, self.catalog.statistics, self.config)
@@ -224,7 +222,10 @@ class BouquetServer:
                 if hit is not None:
                     return hit, tier
                 owner = True
-                future = self._pool.submit(self._compile_and_store, key, parsed, sql)
+                future = self._pool.submit(
+                    self._compile_and_store, key, parsed, sql,
+                    self._config_for(engine),
+                )
                 self._inflight[digest] = future
             else:
                 owner = False
@@ -300,82 +301,163 @@ class BouquetServer:
 
     def serve(
         self,
-        query: Union[str, Query],
+        request: Union[ServeRequest, str, Query],
         *,
         budget: Optional[float] = None,
         mode: Optional[str] = None,
         crossing: Optional[str] = None,
         timeout: Optional[float] = None,
-    ) -> ServeResult:
-        """Answer one query end to end.
+    ) -> ServeResponse:
+        """Answer one request end to end.
+
+        The canonical calling convention is a
+        :class:`~repro.serve.envelope.ServeRequest`; bare SQL text (or a
+        parsed query) is accepted as sugar for ``ServeRequest(query=...)``.
+
+        .. deprecated::
+            The keyword arguments (``budget``/``mode``/``crossing``/
+            ``timeout``) are the old signature; they are folded into an
+            envelope (``timeout`` becomes ``deadline``) behind a
+            :class:`DeprecationWarning`.
+        """
+        if isinstance(request, ServeRequest):
+            if any(v is not None for v in (budget, mode, crossing, timeout)):
+                raise BouquetError(
+                    "serve: pass knobs inside the ServeRequest, not as "
+                    "keyword arguments"
+                )
+            return self.serve_request(request)
+        if any(v is not None for v in (budget, mode, crossing, timeout)):
+            warnings.warn(
+                "BouquetServer.serve(query, budget=..., mode=..., "
+                "crossing=..., timeout=...) is deprecated; pass a "
+                "ServeRequest envelope instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.serve_request(
+            ServeRequest(
+                query=request,
+                budget=budget,
+                mode=mode,
+                crossing=crossing,
+                deadline=timeout,
+            )
+        )
+
+    def serve_request(self, request: ServeRequest) -> ServeResponse:
+        """Answer one enveloped request end to end.
 
         Requires the catalog to carry a database (serving executes for
-        real).  Never raises for per-request problems — compile
-        failures, deadlines, and budget exhaustion are reported in the
-        :class:`ServeResult` status, and the NAT fallback is attempted
-        before giving up.
-
-        ``crossing`` overrides the server config's contour-crossing
-        strategy for this one request (``"sequential"``,
-        ``"concurrent"``, or ``"timesliced"`` — see :mod:`repro.sched`);
-        it is a runtime knob, so it never affects the artifact cache key.
+        real).  Never raises for per-request problems — parse failures,
+        compile deadlines, budget exhaustion, and execution errors are
+        reported as typed statuses with stable ``error_code``\\ s, and
+        the NAT fallback is attempted before giving up.
         """
         if self.catalog.database is None:
             raise BouquetError("serving requires a catalog with a database")
-        parsed, _sql = self._parse(query)
+        request.validate()
         tracer = self.tracer
         if tracer.enabled:
             tracer.count("serve.requests")
+        started = time.perf_counter()
+
+        def _respond(response: ServeResponse) -> ServeResponse:
+            response.tenant = request.tenant
+            response.request_id = request.request_id
+            response.service_seconds = time.perf_counter() - started
+            return response
+
+        try:
+            parsed, _sql = self._parse(request.query)
+        except ReproError as exc:
+            if tracer.enabled:
+                tracer.count("serve.parse_failures")
+            return _respond(
+                ServeResponse(
+                    status="failed",
+                    query_name=request.sql or "",
+                    error=str(exc),
+                    error_code="parse-error",
+                )
+            )
         key = artifact_key(parsed, self.catalog.statistics, self.config)
         compiled: Optional[CompiledBouquet] = None
         source = "none"
         error: Optional[str] = None
-        try:
-            compiled, source = self.compile(parsed, timeout=timeout)
-        except FutureTimeoutError:
-            error = "compile deadline exceeded"
-            if tracer.enabled:
-                tracer.count("serve.compile_timeouts")
-        except ReproError as exc:
-            error = str(exc)
-            if tracer.enabled:
-                tracer.count("serve.compile_failures")
+        error_code: Optional[str] = None
+        if request.cached_only:
+            # The overload ladder: answer from cache or fall straight
+            # through to NAT — never start (or wait on) a compile.
+            hit, tier = self.store.lookup(
+                key, self.catalog, query=parsed, tracer=tracer
+            )
+            if hit is not None:
+                compiled, source = hit, tier
+            else:
+                error = "no cached artifact (cached-only request)"
+                error_code = "cached-only-miss"
+                if tracer.enabled:
+                    tracer.count("serve.cached_only_misses")
+        else:
+            try:
+                compiled, source = self.compile(
+                    parsed,
+                    timeout=request.deadline,
+                    engine=request.compile_engine,
+                )
+            except FutureTimeoutError:
+                error = "compile deadline exceeded"
+                error_code = "compile-timeout"
+                if tracer.enabled:
+                    tracer.count("serve.compile_timeouts")
+            except ReproError as exc:
+                error = str(exc)
+                error_code = "server-closed" if self._closed else "compile-failed"
+                if tracer.enabled:
+                    tracer.count("serve.compile_failures")
 
         if compiled is not None:
             try:
                 result = api_execute(
                     compiled,
                     self.catalog.database,
-                    budget=budget,
-                    mode=mode,
-                    crossing=crossing,
+                    budget=request.budget,
+                    mode=request.mode,
+                    crossing=request.crossing,
                     tracer=tracer,
                     span_name="serve.execute",
                 )
                 if tracer.enabled:
                     tracer.count("serve.served_ok")
-                return ServeResult(
-                    status="ok",
-                    cache=source,
-                    query_name=parsed.name,
-                    key=key,
-                    result=result,
-                    mso_bound=compiled.mso_bound,
+                return _respond(
+                    ServeResponse(
+                        status="ok",
+                        cache=source,
+                        query_name=parsed.name,
+                        key=key,
+                        result=result,
+                        mso_bound=compiled.mso_bound,
+                    )
                 )
             except BudgetExceeded as exc:
                 if tracer.enabled:
                     tracer.count("serve.budget_exhausted")
-                return ServeResult(
-                    status="budget-exhausted",
-                    cache=source,
-                    query_name=parsed.name,
-                    key=key,
-                    mso_bound=compiled.mso_bound,
-                    error=str(exc),
+                return _respond(
+                    ServeResponse(
+                        status="budget-exhausted",
+                        cache=source,
+                        query_name=parsed.name,
+                        key=key,
+                        mso_bound=compiled.mso_bound,
+                        error=str(exc),
+                        error_code="budget-exhausted",
+                    )
                 )
             except ReproError as exc:
                 # Bouquet execution failed outright; fall through to NAT.
                 error = str(exc)
+                error_code = "execute-failed"
                 if tracer.enabled:
                     tracer.count("serve.execute_failures")
 
@@ -385,23 +467,31 @@ class BouquetServer:
             result = native_run(optimizer, parsed, self.catalog.database, tracer)
             if tracer.enabled:
                 tracer.count("serve.degraded")
-            return ServeResult(
-                status="degraded",
-                cache=source,
-                query_name=parsed.name,
-                key=key,
-                result=result,
-                error=error,
+            return _respond(
+                ServeResponse(
+                    status="degraded",
+                    cache=source,
+                    query_name=parsed.name,
+                    key=key,
+                    result=result,
+                    error=error,
+                    error_code=error_code if error_code else "compile-failed",
+                )
             )
         except ReproError as exc:
             if tracer.enabled:
                 tracer.count("serve.failed")
-            return ServeResult(
-                status="failed",
-                cache=source,
-                query_name=parsed.name,
-                key=key,
-                error=f"{error}; native fallback failed: {exc}" if error else str(exc),
+            return _respond(
+                ServeResponse(
+                    status="failed",
+                    cache=source,
+                    query_name=parsed.name,
+                    key=key,
+                    error=f"{error}; native fallback failed: {exc}"
+                    if error
+                    else str(exc),
+                    error_code="native-failed",
+                )
             )
 
     # ------------------------------------------------------------------
@@ -409,12 +499,16 @@ class BouquetServer:
     # ------------------------------------------------------------------
 
     def refresh_statistics(
-        self, statistics: Optional[DatabaseStatistics], *, patch: bool = True
+        self,
+        statistics: Optional[DatabaseStatistics],
+        *,
+        patch: Optional[bool] = None,
     ) -> int:
         """Swap in a new statistics world view.
 
-        With ``patch=True`` (the default) every cached artifact keyed to
-        the old fingerprint is first offered to the delta-refresh engine
+        With patching enabled (default: the config's ``patch`` knob)
+        every cached artifact keyed to the old fingerprint is first
+        offered to the delta-refresh engine
         (:func:`repro.drift.refresh.patch_compiled`): artifacts whose
         compile-visible inputs are unchanged — or changed only in a few
         base selectivities — are re-keyed under the new fingerprint after
@@ -424,6 +518,8 @@ class BouquetServer:
         swept by the invalidation fallback, exactly as before.  Returns
         the number of entries dropped.
         """
+        if patch is None:
+            patch = self.config.patch
         old_statistics = self.catalog.statistics
         self.catalog.statistics = statistics
         fingerprint = statistics_fingerprint(statistics)

@@ -1,11 +1,10 @@
 """The repro.api facade: config validation, compile/execute/simulate,
-warm-cache behaviour, and the deprecated session shim."""
+warm-cache behaviour, and the envelope calling convention."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro import BouquetSession
 from repro.api import (
     BouquetConfig,
     Catalog,
@@ -162,18 +161,58 @@ class TestLegacyArtifacts:
             CompiledBouquet.from_dict(legacy, catalog)
 
 
-class TestDeprecatedSession:
-    def test_constructor_warns(self, schema, statistics, database):
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            BouquetSession(schema, statistics, database)
+class TestEnvelopeExecution:
+    """execute()/simulate() accept the ServeRequest envelope — the same
+    calling convention the serving layer and the HTTP wire use."""
 
-    def test_shim_delegates_to_the_facade(self, schema, statistics, database, catalog):
-        with pytest.warns(DeprecationWarning):
-            session = BouquetSession(schema, statistics, database)
-        legacy = session.compile(SQL, resolution=16)
-        modern = compile_bouquet(SQL, catalog, config=BouquetConfig(resolution=16))
-        assert legacy.mso_bound == pytest.approx(modern.mso_bound)
-        assert legacy.execute().result_rows == execute(modern, database).result_rows
-        assert legacy.simulate([0.5]).total_cost == pytest.approx(
-            simulate(modern, [0.5]).total_cost
+    def test_execute_via_envelope(self, catalog, database):
+        from repro.serve import ServeRequest
+
+        compiled = compile_bouquet(SQL, catalog, config=BouquetConfig(resolution=16))
+        request = ServeRequest(query=SQL, mode="basic", crossing="sequential")
+        via_envelope = execute(compiled, database, request=request)
+        via_kwargs = execute(compiled, database, mode="basic")
+        assert via_envelope.result_rows == via_kwargs.result_rows
+        assert via_envelope.total_cost == pytest.approx(via_kwargs.total_cost)
+
+    def test_simulate_via_envelope(self, catalog):
+        from repro.serve import ServeRequest
+
+        compiled = compile_bouquet(SQL, catalog, config=BouquetConfig(resolution=16))
+        request = ServeRequest(query=SQL, budget=None, mode="optimized")
+        via_envelope = simulate(compiled, [0.5], request=request)
+        assert via_envelope.total_cost == pytest.approx(
+            simulate(compiled, [0.5], mode="optimized").total_cost
         )
+
+    def test_envelope_budget_cap_applies(self, catalog, database):
+        from repro.serve import ServeRequest
+
+        compiled = compile_bouquet(SQL, catalog, config=BouquetConfig(resolution=16))
+        with pytest.raises(BudgetExceeded):
+            execute(
+                compiled, database, request=ServeRequest(query=SQL, budget=1e-3)
+            )
+
+    def test_envelope_and_kwargs_conflict(self, catalog, database):
+        from repro.serve import ServeRequest
+
+        compiled = compile_bouquet(SQL, catalog, config=BouquetConfig(resolution=16))
+        with pytest.raises(BouquetError, match="inside the ServeRequest"):
+            execute(
+                compiled,
+                database,
+                request=ServeRequest(query=SQL),
+                mode="basic",
+            )
+
+    def test_invalid_envelope_rejected(self, catalog, database):
+        from repro.serve import ServeRequest
+
+        compiled = compile_bouquet(SQL, catalog, config=BouquetConfig(resolution=16))
+        with pytest.raises(BouquetError):
+            execute(
+                compiled,
+                database,
+                request=ServeRequest(query=SQL, mode="turbo"),
+            )

@@ -58,3 +58,34 @@ def test_summary_from_live_counters():
     )
     assert summary.hit_rate == pytest.approx(0.75)
     assert isinstance(summary.describe(), str)
+
+
+def test_front_end_counters_get_their_own_table():
+    summary = summarize_serving(
+        [
+            {"type": "counter", "name": "serve.front.requests", "value": 10},
+            {"type": "counter", "name": "serve.front.admitted", "value": 7},
+            {"type": "counter", "name": "serve.front.shed.quota", "value": 2},
+            {"type": "counter", "name": "serve.front.shed.queue", "value": 1},
+            {"type": "counter", "name": "serve.front.completed.ok", "value": 6},
+            {
+                "type": "counter",
+                "name": "serve.front.completed.degraded",
+                "value": 1,
+            },
+        ]
+    )
+    assert summary.front_requests == 10
+    assert summary.front_shed == 3
+    text = summary.describe()
+    for needle in (
+        "admission / shedding",
+        "shed (quota)",
+        "completed ok",
+        "completed degraded",
+    ):
+        assert needle in text
+
+
+def test_front_end_table_absent_when_gateway_unused():
+    assert "admission" not in summarize_serving(RECORDS).describe()

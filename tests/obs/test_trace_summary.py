@@ -1,8 +1,8 @@
-"""Integration: a traced session run summarizes back to its run result."""
+"""Integration: a traced facade run summarizes back to its run result."""
 
 import pytest
 
-from repro.core.session import BouquetSession
+from repro.api import BouquetConfig, Catalog, compile_bouquet, execute, simulate
 from repro.obs import JsonlSink, MemorySink, Tracer, read_trace, summarize_trace
 
 EQ_SQL = (
@@ -16,11 +16,11 @@ EQ_SQL = (
 def traced_run(schema, database, statistics, tmp_path_factory):
     path = str(tmp_path_factory.mktemp("obs") / "trace.jsonl")
     tracer = Tracer(JsonlSink(path))
-    session = BouquetSession(
-        schema, statistics=statistics, database=database, tracer=tracer
+    catalog = Catalog(schema, statistics=statistics, database=database)
+    compiled = compile_bouquet(
+        EQ_SQL, catalog, config=BouquetConfig(resolution=24), tracer=tracer
     )
-    compiled = session.compile(EQ_SQL, resolution=24)
-    result = compiled.execute()
+    result = execute(compiled, database, tracer=tracer)
     tracer.close()
     return path, compiled, result
 
@@ -55,9 +55,9 @@ class TestTracedSession:
         path, _, _ = traced_run
         summary = summarize_trace(read_trace(path))
         roots = [s["name"] for s in summary.spans if s["parent"] == 0]
-        assert "session.compile" in roots and "session.execute" in roots
+        assert "api.compile" in roots and "api.execute" in roots
         compile_span = next(
-            s for s in summary.spans if s["name"] == "session.compile"
+            s for s in summary.spans if s["name"] == "api.compile"
         )
         assert compile_span["attrs"]["grid"] == 24
         assert compile_span["attrs"]["cardinality"] >= 1
@@ -84,21 +84,23 @@ class TestTracedSession:
 
     def test_simulate_is_traced(self, schema, database, statistics):
         tracer = Tracer(MemorySink())
-        session = BouquetSession(
-            schema, statistics=statistics, database=database, tracer=tracer
+        catalog = Catalog(schema, statistics=statistics, database=database)
+        compiled = compile_bouquet(
+            EQ_SQL, catalog, config=BouquetConfig(resolution=24), tracer=tracer
         )
-        compiled = session.compile(EQ_SQL, resolution=24)
-        result = compiled.simulate([0.4])
+        result = simulate(compiled, [0.4], tracer=tracer)
         events = tracer.sink.events("runtime.execution")
         assert len(events) == result.execution_count
-        assert tracer.sink.spans("session.simulate")
+        assert tracer.sink.spans("api.simulate")
 
-    def test_untraced_session_stays_silent(self, schema, database, statistics):
-        session = BouquetSession(schema, statistics=statistics, database=database)
-        compiled = session.compile(EQ_SQL, resolution=24)
-        compiled.simulate([0.4])
-        assert not session.tracer.enabled
-        assert session.optimizer.tracer.counters == {}
+    def test_untraced_compile_stays_silent(self, schema, database, statistics):
+        catalog = Catalog(schema, statistics=statistics, database=database)
+        compiled = compile_bouquet(
+            EQ_SQL, catalog, config=BouquetConfig(resolution=24)
+        )
+        simulate(compiled, [0.4])
+        optimizer = compiled.bouquet.cost_cache.optimizer
+        assert optimizer.tracer.counters == {}
 
 
 class TestLabTracing:

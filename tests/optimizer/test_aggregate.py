@@ -179,16 +179,17 @@ class TestAggregateBouquet:
     def test_end_to_end_bouquet_on_aggregate_query(self, database, statistics, schema):
         """The whole pipeline works with an aggregate on top: error nodes
         sit below the Aggregate, so discovery is unaffected."""
-        from repro.core.session import BouquetSession
+        from repro.api import BouquetConfig, Catalog, compile_bouquet, execute
 
-        session = BouquetSession(schema, statistics=statistics, database=database)
-        compiled = session.compile(
+        catalog = Catalog(schema, statistics=statistics, database=database)
+        compiled = compile_bouquet(
             "select count(*) from lineitem, orders, part "
             "where p_partkey = l_partkey and l_orderkey = o_orderkey "
             "and p_retailprice < 1000 group by p_brand",
-            resolution=24,
+            catalog,
+            config=BouquetConfig(resolution=24),
         )
-        result = compiled.execute(mode="optimized")
+        result = execute(compiled, database, mode="optimized")
         assert result.completed
         # Rows = number of brands among qualifying parts.
         engine = ExecutionEngine(database)

@@ -87,13 +87,14 @@ class TestSqlAndExecution:
 
     def test_bouquet_over_in_dimension(self, database, statistics, schema):
         """An IN predicate can itself be the error dimension."""
-        from repro.core.session import BouquetSession
+        from repro.api import BouquetConfig, Catalog, compile_bouquet, execute
 
-        session = BouquetSession(schema, statistics=statistics, database=database)
-        compiled = session.compile(
+        catalog = Catalog(schema, statistics=statistics, database=database)
+        compiled = compile_bouquet(
             "select * from lineitem, part "
             "where p_partkey = l_partkey and p_size in (5, 10, 15, 20)",
-            resolution=16,
+            catalog,
+            config=BouquetConfig(resolution=16),
         )
-        result = compiled.execute()
+        result = execute(compiled, database)
         assert result.completed

@@ -1,0 +1,198 @@
+"""The runtime seam: sync, asyncio, and simulated clocks/dispatch
+behind one interface, plus the registry that names them."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.runtime import (
+    RUNTIME_NAMES,
+    AsyncioRuntime,
+    SimulatedRuntime,
+    SyncRuntime,
+    get_runtime,
+    resolved,
+)
+
+
+class TestRegistry:
+    def test_canonical_names(self):
+        assert RUNTIME_NAMES == ("asyncio", "simulated", "sync")
+
+    @pytest.mark.parametrize("name", RUNTIME_NAMES)
+    def test_builds_by_name(self, name):
+        runtime = get_runtime(name)
+        try:
+            assert runtime.name == name
+        finally:
+            runtime.shutdown()
+
+    def test_kwargs_pass_through(self):
+        with get_runtime("asyncio", max_workers=2) as runtime:
+            assert runtime.max_workers == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown runtime"):
+            get_runtime("twisted")
+
+
+class TestSyncRuntime:
+    def test_clock_is_monotonic(self):
+        runtime = SyncRuntime()
+        a = runtime.now()
+        runtime.sleep(0.005)
+        assert runtime.now() >= a + 0.004
+
+    def test_submit_runs_inline(self):
+        runtime = SyncRuntime()
+        calls = []
+        future = runtime.submit(lambda x: calls.append(x) or x * 2, 21)
+        assert calls == [21]  # already ran, on this thread
+        assert future.done() and future.result() == 42
+
+    def test_submit_captures_exceptions(self):
+        def boom():
+            raise ValueError("synthetic")
+
+        future = SyncRuntime().submit(boom)
+        with pytest.raises(ValueError, match="synthetic"):
+            future.result()
+
+
+class TestSimulatedRuntime:
+    def test_virtual_clock_never_moves_on_its_own(self):
+        runtime = SimulatedRuntime(start=10.0)
+        assert runtime.now() == 10.0
+        assert runtime.advance(2.5) == 12.5
+        runtime.sleep(0.5)
+        assert runtime.now() == 13.0
+
+    def test_clock_cannot_run_backwards(self):
+        with pytest.raises(ReproError):
+            SimulatedRuntime().advance(-1.0)
+        with pytest.raises(ReproError):
+            SimulatedRuntime().schedule(-0.1, lambda: None)
+
+    def test_events_fire_in_time_order(self):
+        runtime = SimulatedRuntime()
+        fired = []
+        runtime.schedule(3.0, fired.append, "late")
+        runtime.schedule(1.0, fired.append, "early")
+        runtime.schedule(2.0, fired.append, "middle")
+        assert runtime.pending == 3
+        assert runtime.run_until_idle() == 3
+        assert fired == ["early", "middle", "late"]
+        assert runtime.now() == 3.0  # clock advanced to the last event
+
+    def test_same_tick_is_fifo(self):
+        runtime = SimulatedRuntime()
+        fired = []
+        for tag in ("a", "b", "c"):
+            runtime.schedule(1.0, fired.append, tag)
+        runtime.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_events_can_schedule_events(self):
+        runtime = SimulatedRuntime()
+        ticks = []
+
+        def tick(n):
+            ticks.append(runtime.now())
+            if n > 1:
+                runtime.schedule(1.0, tick, n - 1)
+
+        runtime.schedule(1.0, tick, 3)
+        runtime.run_until_idle()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_runaway_backstop(self):
+        runtime = SimulatedRuntime()
+
+        def forever():
+            runtime.schedule(1.0, forever)
+
+        runtime.schedule(1.0, forever)
+        with pytest.raises(ReproError, match="exceeded"):
+            runtime.run_until_idle(max_events=100)
+
+    def test_submit_is_inline_and_instant(self):
+        runtime = SimulatedRuntime()
+        future = runtime.submit(lambda: runtime.now())
+        assert future.result() == 0.0
+
+    def test_submit_captures_exceptions(self):
+        def boom():
+            raise ValueError("synthetic")
+
+        future = SimulatedRuntime().submit(boom)
+        with pytest.raises(ValueError, match="synthetic"):
+            future.result()
+
+    def test_determinism_across_instances(self):
+        def run():
+            runtime = SimulatedRuntime()
+            log = []
+            for i in range(50):
+                runtime.schedule((i * 7919) % 13 * 0.1, log.append, i)
+            runtime.run_until_idle()
+            return log
+
+        assert run() == run()
+
+
+class TestAsyncioRuntime:
+    def test_needs_a_worker(self):
+        with pytest.raises(ReproError):
+            AsyncioRuntime(max_workers=0)
+
+    def test_submit_runs_off_thread(self):
+        with AsyncioRuntime(max_workers=2) as runtime:
+            future = runtime.submit(threading.current_thread)
+            worker = future.result()
+        assert worker is not threading.main_thread()
+        assert worker.name.startswith("bouquet-serve")
+
+    def test_arun_bridges_to_the_pool(self):
+        with AsyncioRuntime(max_workers=2) as runtime:
+
+            async def main():
+                value = await runtime.arun(lambda a, b: a + b, 40, b=2)
+                await runtime.asleep(0)
+                return value
+
+            assert asyncio.run(main()) == 42
+
+    def test_arun_keeps_the_loop_responsive(self):
+        """A blocking call on the pool must not stall loop callbacks."""
+        with AsyncioRuntime(max_workers=2) as runtime:
+
+            async def main():
+                heartbeat = []
+
+                async def beat():
+                    for _ in range(5):
+                        heartbeat.append(runtime.now())
+                        await asyncio.sleep(0.005)
+
+                _, beats = await asyncio.gather(
+                    runtime.arun(time.sleep, 0.05), beat()
+                )
+                return heartbeat
+
+            assert len(asyncio.run(main())) == 5
+
+    def test_clock_is_real(self):
+        with AsyncioRuntime(max_workers=1) as runtime:
+            a = runtime.now()
+            runtime.sleep(0.005)
+            assert runtime.now() >= a + 0.004
+
+
+def test_resolved_helper():
+    future = resolved("value")
+    assert future.done() and future.result() == "value"

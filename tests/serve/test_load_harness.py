@@ -1,0 +1,217 @@
+"""The serving load harness: determinism, the zero-silent-drop gate,
+and the multi-tenant concurrency behaviour it exists to measure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.serve_load import (
+    LoadSpec,
+    SimulatedBouquetBackend,
+    _percentile,
+    run_simulated_load,
+)
+from repro.exceptions import ReproError
+from repro.serve import ServeRequest, TenantQuota
+
+#: Small enough to run in well under a second, big enough to exercise
+#: queueing: 300 sessions arriving inside 0.25s against 24 slots.
+SPEC = LoadSpec(sessions=300, requests_per_session=3, workers=24, seed=11)
+
+# burst < max_queue for both, and max_queue sits above the worst-case
+# in-flight depth the bucket can admit, so the bucket is always the
+# first line of defence.
+QUOTAS = {
+    "alpha": TenantQuota(rate=2000.0, burst=400.0, max_queue=900),
+    "beta": TenantQuota(rate=60.0, burst=25.0, max_queue=80),
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_simulated_load(SPEC, quotas=QUOTAS, min_concurrent=250)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LoadSpec(sessions=0)
+        with pytest.raises(ReproError):
+            LoadSpec(tenants={})
+
+    def test_templates_are_distinct_queries(self):
+        spec = LoadSpec()
+        texts = {spec.template_sql(i) for i in range(20)}
+        assert len(texts) == 20
+
+
+class TestBackendModel:
+    def test_ladder_shape(self):
+        backend = SimulatedBouquetBackend(fail_every=0)
+        sql = "select * from lineitem"
+        cold_seconds, cold = backend.simulate(ServeRequest(query=sql))
+        warm_seconds, warm = backend.simulate(ServeRequest(query=sql))
+        assert cold.ok and warm.ok
+        assert cold_seconds > warm_seconds  # compile vs cache hit
+        assert warm.cache == "memory"
+
+    def test_cached_only_miss_degrades(self):
+        backend = SimulatedBouquetBackend()
+        _, response = backend.simulate(
+            ServeRequest(query="select 1", cached_only=True)
+        )
+        assert response.degraded
+        assert response.error_code == "cached-only-miss"
+
+    def test_tight_budget_exhausts(self):
+        backend = SimulatedBouquetBackend(budget_floor=40.0)
+        _, response = backend.simulate(
+            ServeRequest(query="select 1", budget=30.0)
+        )
+        assert response.status == "budget-exhausted"
+
+    def test_fault_injection_is_periodic(self):
+        backend = SimulatedBouquetBackend(fail_every=3)
+        statuses = [
+            backend.simulate(ServeRequest(query=f"q{i}"))[1].status
+            for i in range(6)
+        ]
+        assert statuses.count("failed") == 2
+
+
+class TestGates:
+    def test_zero_silent_drops(self, report):
+        """The hard gate: every issued request got exactly one typed
+        response — shed included."""
+        assert report.requests == SPEC.sessions * SPEC.requests_per_session
+        assert report.silent_drops == 0
+        assert report.responses == report.requests
+
+    def test_every_non_ok_response_is_typed(self, report):
+        assert report.untyped == 0
+        assert sum(report.error_codes.values()) == sum(
+            count for status, count in report.statuses.items() if status != "ok"
+        )
+
+    def test_concurrency_floor_and_verdict(self, report):
+        assert report.peak_sessions >= 250
+        assert report.ok
+        assert report.answered > 0
+
+    def test_virtual_time_is_fast_wall_time(self, report):
+        # Minutes of simulated serving replay in well under real time.
+        assert report.virtual_seconds > 1.0
+        assert report.wall_seconds < report.virtual_seconds
+
+    def test_report_dict_shape(self, report):
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["silent_drops"] == 0
+        assert set(payload["statuses"]) <= {
+            "ok",
+            "degraded",
+            "budget-exhausted",
+            "shed",
+            "failed",
+        }
+        assert report.describe()
+
+
+class TestDeterminism:
+    def test_same_seed_replays_bit_identically(self, report):
+        again = run_simulated_load(SPEC, quotas=QUOTAS, min_concurrent=250)
+        a, b = report.to_dict(), again.to_dict()
+        # Wall time is the only non-deterministic field.
+        a.pop("wall_seconds"), b.pop("wall_seconds")
+        assert a == b
+
+    def test_different_seed_changes_the_workload(self, report):
+        other = run_simulated_load(
+            LoadSpec(
+                sessions=300, requests_per_session=3, workers=24, seed=12
+            ),
+            quotas=QUOTAS,
+        )
+        assert other.to_dict()["statuses"] != {}
+        assert other.latency_p50 != report.latency_p50 or (
+            other.statuses != report.statuses
+        )
+
+
+class TestMultiTenantConcurrency:
+    """Satellite: two tenants with asymmetric quotas under burst."""
+
+    def test_tight_tenant_sheds_generous_tenant_sails(self, report):
+        """beta's quota is ~10x under its offered load; alpha is
+        provisioned.  Shedding must land on beta alone."""
+        assert report.counters["serve.front.shed.quota"] > 0
+        assert report.shed > 0
+        # alpha was provisioned for the load: its sheds are zero, so
+        # total sheds == beta's sheds. Re-run with beta removed to
+        # prove alpha alone is shed-free under identical pressure.
+        solo = run_simulated_load(
+            LoadSpec(
+                sessions=300,
+                requests_per_session=3,
+                workers=24,
+                seed=11,
+                tenants={"alpha": 1.0},
+            ),
+            quotas=QUOTAS,
+        )
+        assert solo.shed == 0
+
+    def test_shed_quota_fires_before_queue_overflow(self, report):
+        """burst < max_queue for both tenants, so the token bucket is
+        always the first line of defence: no queue-full sheds."""
+        assert report.error_codes.get("shed-quota", 0) > 0
+        assert report.error_codes.get("shed-queue-full", 0) == 0
+        assert report.counters.get("serve.front.shed.queue", 0) == 0
+
+    def test_degrade_ladder_fires_before_shedding_the_provisioned_tenant(self):
+        """Push alpha's queue past degrade_at without exhausting its
+        bucket: budgets degrade (cached-only NAT answers) while nothing
+        is rejected."""
+        spec = LoadSpec(
+            sessions=200,
+            requests_per_session=2,
+            workers=4,  # starve the service slots so queues fill
+            tenants={"alpha": 1.0},
+            seed=3,
+        )
+        quotas = {
+            "alpha": TenantQuota(rate=5000.0, burst=450.0, max_queue=500)
+        }
+        report = run_simulated_load(
+            spec, quotas=quotas, degrade_at=0.3, degraded_budget=50.0
+        )
+        assert report.silent_drops == 0
+        assert report.shed == 0  # nothing rejected...
+        assert report.statuses.get("degraded", 0) > 0  # ...but degraded
+        assert report.error_codes.get("overload-degraded", 0) > 0
+        assert report.counters["serve.front.degraded_overload"] > 0
+
+    def test_all_five_statuses_under_the_default_workload(self):
+        """The default CI smoke shape produces the full taxonomy."""
+        report = run_simulated_load(
+            LoadSpec(sessions=600, requests_per_session=3, workers=24, seed=42),
+            quotas={
+                "alpha": TenantQuota(rate=2000.0, burst=500.0, max_queue=400),
+                "beta": TenantQuota(rate=40.0, burst=15.0, max_queue=30),
+            },
+        )
+        assert set(report.statuses) == {
+            "ok",
+            "degraded",
+            "budget-exhausted",
+            "shed",
+            "failed",
+        }
+
+
+def test_percentile_edges():
+    assert _percentile([], 99) == 0.0
+    assert _percentile([5.0], 50) == 5.0
+    values = [float(i) for i in range(1, 101)]
+    assert _percentile(values, 50) == 50.0
+    assert _percentile(values, 99) == 99.0

@@ -42,6 +42,12 @@ def _report(**overrides):
         refresh_optimizer_calls=0,
         refresh_sources=["memory", "memory"],
         patched_artifacts=2,
+        taxonomy={
+            "ok": ["ok", None],
+            "shed": ["shed", "shed-quota"],
+            "degraded": ["degraded", "cached-only-miss"],
+            "failed": ["failed", "parse-error"],
+        },
     )
     base.update(overrides)
     return ServeSmokeReport(**base)
@@ -66,3 +72,9 @@ def test_report_verdict_logic():
     assert not _report(refresh_sources=["memory", "compiled"]).ok
     # the optimizer ran after the refresh
     assert not _report(refresh_optimizer_calls=32).ok
+    # the taxonomy pass never ran, or two arms collapsed into one status
+    assert not _report(taxonomy={}).ok
+    bad_arm = _report()
+    assert not _report(
+        taxonomy={**bad_arm.taxonomy, "shed": ["failed", "shed-quota"]}
+    ).ok

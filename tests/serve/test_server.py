@@ -11,7 +11,7 @@ import pytest
 from repro.api import Catalog, execute as api_execute
 from repro.exceptions import BouquetError
 from repro.obs import MemorySink, Tracer
-from repro.serve import BouquetArtifactStore, BouquetServer
+from repro.serve import BouquetArtifactStore, BouquetServer, ServeRequest
 
 SQL = (
     "select * from lineitem, orders, part "
@@ -116,11 +116,29 @@ def test_mixed_hit_miss_workload(server, tracer):
 
 
 def test_budget_exhaustion_is_reported_not_raised(server):
-    served = server.serve(SQL, budget=1e-3)
+    served = server.serve(ServeRequest(query=SQL, budget=1e-3))
     assert served.status == "budget-exhausted"
+    assert served.error_code == "budget-exhausted"
     assert served.result is None
     assert "budget" in served.error
     assert server.stats()["counters"]["serve.budget_exhausted"] == 1
+
+
+def test_legacy_kwargs_pass_through_the_deprecation_adapter(server):
+    """The pre-envelope signature still works, loudly."""
+    with pytest.warns(DeprecationWarning, match="ServeRequest"):
+        served = server.serve(SQL, budget=1e-3)
+    assert served.status == "budget-exhausted"
+
+    with pytest.warns(DeprecationWarning):
+        fast = server.serve(SQL, crossing="concurrent")
+    assert fast.status == "ok"
+    assert fast.result.crossing == "concurrent"
+
+
+def test_envelope_and_kwargs_together_is_an_error(server):
+    with pytest.raises(BouquetError, match="inside the ServeRequest"):
+        server.serve(ServeRequest(query=SQL), budget=1e9)
 
 
 def test_compile_timeout_degrades_to_native_path(catalog, small_config, tracer):
@@ -129,9 +147,9 @@ def test_compile_timeout_degrades_to_native_path(catalog, small_config, tracer):
     ) as server:
         inner = server._compile_and_store
 
-        def slow_compile(key, query, sql):
+        def slow_compile(key, query, sql, config=None):
             time.sleep(0.4)
-            return inner(key, query, sql)
+            return inner(key, query, sql, config)
 
         server._compile_and_store = slow_compile
         served = server.serve(SQL)
@@ -158,7 +176,7 @@ def test_compile_timeout_degrades_to_native_path(catalog, small_config, tracer):
 
 def test_compile_failure_degrades_to_native_path(catalog, small_config, tracer):
     with BouquetServer(catalog, config=small_config, tracer=tracer) as server:
-        def broken_compile(key, query, sql):
+        def broken_compile(key, query, sql, config=None):
             raise BouquetError("synthetic compile failure")
 
         server._compile_and_store = broken_compile
@@ -247,7 +265,7 @@ def test_per_request_crossing_override(server):
     assert plain.status == "ok" and plain.cache == "compiled"
     assert plain.result.crossing == "sequential"
 
-    fast = server.serve(SQL, crossing="concurrent")
+    fast = server.serve(ServeRequest(query=SQL, crossing="concurrent"))
     assert fast.status == "ok"
     assert fast.cache == "memory"  # same artifact, runtime knob only
     assert fast.result.crossing == "concurrent"

@@ -53,9 +53,9 @@ class TestReadmeSnippets:
         configured = BouquetConfig(crossing="concurrent")
         assert configured.crossing == "concurrent"
 
-    def test_serving_snippet(self, tmp_path):
+    def test_artifact_store_snippet(self, tmp_path):
         from repro import BouquetArtifactStore, BouquetServer, Catalog, Database
-        from repro import tpch_schema
+        from repro import ServeRequest, tpch_schema
         from repro.api import BouquetConfig
         from repro.catalog import tpch_generator_spec
 
@@ -71,7 +71,7 @@ class TestReadmeSnippets:
             store=store,
             compile_timeout=30.0,
         ) as server:
-            served = server.serve(README_SQL, budget=1e9)
+            served = server.serve(ServeRequest(query=README_SQL, budget=1e9))
             assert served.status == "ok"
             assert served.cache == "compiled"
             assert served.rows is not None
@@ -137,19 +137,36 @@ class TestReadmeSnippets:
         assert reference.bouquet.budgets == compiled.bouquet.budgets
         assert reference.mso_bound == compiled.mso_bound
 
-    def test_session_snippet(self):
-        from repro import BouquetSession, Database, tpch_schema
+    def test_serving_snippet(self):
+        """The README's async-serving quickstart: envelope in, typed
+        response out, through the gateway's admission control."""
+        from repro import (
+            BouquetConfig,
+            Catalog,
+            Database,
+            BouquetServer,
+            ServeGateway,
+            ServeRequest,
+            tpch_schema,
+        )
         from repro.catalog import tpch_generator_spec
 
         schema = tpch_schema(0.002)
         db = Database.generate(schema, tpch_generator_spec(0.002), seed=1)
         stats = db.build_statistics(sample_size=500)
-        session = BouquetSession(schema, statistics=stats, database=db)
-        compiled = session.compile(
-            "select count(*) from lineitem, orders, part "
-            "where p_partkey = l_partkey and l_orderkey = o_orderkey "
-            "and p_retailprice < 1000 group by p_brand",
-            resolution=16,
-        )
-        result = compiled.execute()
-        assert result.completed
+        catalog = Catalog(schema, statistics=stats, database=db)
+        with BouquetServer(
+            catalog, config=BouquetConfig(resolution=16)
+        ) as server:
+            gateway = ServeGateway(server)
+            response = gateway.handle(
+                ServeRequest(
+                    query="select count(*) from lineitem, orders, part "
+                    "where p_partkey = l_partkey and l_orderkey = o_orderkey "
+                    "and p_retailprice < 1000 group by p_brand",
+                    tenant="readme",
+                )
+            )
+        assert response.ok
+        assert response.tenant == "readme"
+        assert response.rows is not None
