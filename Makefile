@@ -26,6 +26,11 @@
 #                     fails on any silent drop or untyped response
 #   make serve-load-smoke  fast simulated-only load gate: >= 2000 concurrent
 #                     sessions, every request answered with a typed response
+#   make fuzz-smoke   fast MSO fuzzing gate: 25 generated queries through the
+#                     full pipeline, zero crashes / bound violations required
+#   make bench-workload  full fuzzing campaign: 200 generated queries with
+#                     sensitivity-chosen ESS dims; writes BENCH_workload.json
+#                     and fails on any crash or MSO above 4(1+lambda)rho
 #   make bench        regenerate every paper table/figure
 #   make experiments  bench + rebuild EXPERIMENTS.md
 #   make examples     run the example scripts end to end
@@ -34,7 +39,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench-serve serve-load-smoke bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench-serve serve-load-smoke fuzz-smoke bench-workload bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -55,7 +60,7 @@ serve-smoke:
 
 check: lint serve-smoke
 
-ci: lint sweep-smoke compile-smoke drift-smoke serve-load-smoke
+ci: lint sweep-smoke compile-smoke drift-smoke serve-load-smoke fuzz-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench-sched:
@@ -94,6 +99,15 @@ bench-serve:
 # and >= 2000 concurrent session gates; deterministic, sub-second).
 serve-load-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.serve_load --smoke
+
+# Fast pass of the workload fuzzer (same zero-crash / zero-violation
+# gates as bench-workload, on a 25-query campaign; deterministic).
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.workload --count 25
+
+bench-workload:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.workload --count 200 \
+		--workers 4 --out BENCH_workload.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

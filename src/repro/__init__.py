@@ -36,6 +36,8 @@ from .api import (
     compile_bouquet,
     default_error_dimensions,
     execute,
+    fuzz,
+    generate_workload,
     simulate,
 )
 from .bench.harness import Lab, QueryLab, shared_lab
@@ -82,7 +84,7 @@ from .optimizer import (
     actual_selectivities,
     estimate_selectivities,
 )
-from .query import JoinPredicate, Query, SelectionPredicate, parse_query
+from .query import JoinPredicate, Query, SelectionPredicate, parse_query, render_sql
 from .query.workload import TABLE2_NAMES, WorkloadQuery, full_workload
 from .robustness import NativeOptimizerStrategy, ReoptStrategy, SeerStrategy
 from .runtime import AsyncioRuntime, Runtime, SimulatedRuntime, SyncRuntime
@@ -108,6 +110,8 @@ __all__ = [
     "compile_bouquet",
     "default_error_dimensions",
     "execute",
+    "fuzz",
+    "generate_workload",
     "simulate",
     "ArtifactKey",
     "AsyncioRuntime",
@@ -165,6 +169,7 @@ __all__ = [
     "Query",
     "SelectionPredicate",
     "parse_query",
+    "render_sql",
     "ProcessingMode",
     "Recommendation",
     "recommend_processing_mode",

@@ -67,6 +67,8 @@ __all__ = [
     "compile_bouquet",
     "default_error_dimensions",
     "execute",
+    "fuzz",
+    "generate_workload",
     "simulate",
 ]
 
@@ -613,3 +615,53 @@ def simulate(
             model_error_delta=config.model_error_delta,
             tracer=tracer,
         ).run()
+
+
+# ---------------------------------------------------------------------------
+# Workload generation & fuzzing (the repro.wlgen facade)
+# ---------------------------------------------------------------------------
+
+
+def generate_workload(
+    catalog: Catalog,
+    count: int,
+    seed: int = 42,
+    config: Optional["object"] = None,
+) -> List["object"]:
+    """Sample ``count`` seeded random queries over ``catalog``.
+
+    Returns :class:`~repro.wlgen.generator.GeneratedQuery` objects
+    (each carries its ``Query``, its rendered SQL, and its
+    ``(seed, index)`` replay coordinates).  The same ``(catalog, seed,
+    count, config)`` always yields the same workload — the generator's
+    determinism contract.  ``config`` is a
+    :class:`~repro.wlgen.generator.GeneratorConfig`.
+    """
+    from .wlgen.generator import QueryGenerator
+
+    generator = QueryGenerator(catalog.schema, catalog.database, config)
+    return generator.generate_many(seed, count)
+
+
+def fuzz(
+    config: Optional["object"] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    progress=None,
+    **overrides,
+) -> "object":
+    """Run an MSO fuzzing campaign; returns a ``CampaignReport``.
+
+    ``config`` is a :class:`~repro.wlgen.campaign.CampaignConfig`; when
+    omitted one is built from ``overrides`` (e.g. ``fuzz(count=50,
+    seed=9, workers=4)``).  The report's :meth:`ok` is True iff every
+    generated query compiled, swept, and kept its measured MSO within
+    the 4(1+λ)ρ guarantee.
+    """
+    from .wlgen.campaign import CampaignConfig, run_campaign
+
+    if config is None:
+        config = CampaignConfig(**overrides)
+    elif overrides:
+        raise BouquetError("fuzz: pass either a CampaignConfig or overrides, not both")
+    return run_campaign(config, tracer=tracer, progress=progress)

@@ -1,0 +1,95 @@
+"""Workload fuzzing bench: random queries vs. the 4(1+λ)ρ guarantee.
+
+Runs a seeded :mod:`repro.wlgen` campaign — hundreds of generated
+queries, each with sensitivity-chosen ESS dimensions — through the full
+compile + sweep pipeline and checks the acceptance criterion that
+matters most: **zero crashes and zero MSO-bound violations**.  The JSON
+report (``make bench-workload`` writes ``BENCH_workload.json``) embeds
+the campaign config verbatim, so re-running with the same seed
+reproduces it byte for byte; wall-clock timing is printed but kept out
+of the payload on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from ..wlgen import CampaignConfig, GeneratorConfig, run_campaign
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.workload",
+        description="fuzz the bouquet pipeline with generated queries and "
+        "validate every measured MSO against the 4(1+lambda)rho bound",
+    )
+    parser.add_argument("--benchmark", choices=("tpch", "tpcds"), default="tpch")
+    parser.add_argument("--count", type=int, default=200,
+                        help="number of generated queries (default 200)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="campaign seed: pins the query stream")
+    parser.add_argument("--scale", type=float, default=0.003)
+    parser.add_argument("--data-seed", type=int, default=7)
+    parser.add_argument("--stats-sample", type=int, default=1500)
+    parser.add_argument("--stats-seed", type=int, default=3)
+    parser.add_argument("--max-joins", type=int, default=4)
+    parser.add_argument("--max-dims", type=int, default=3,
+                        help="ESS dimensions kept per query")
+    parser.add_argument("--ratio", type=float, default=2.0)
+    parser.add_argument("--anorexic-lambda", type=float, default=0.2)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign shards (processes)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per fuzzed query")
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report as JSON (e.g. BENCH_workload.json)",
+    )
+    args = parser.parse_args(argv)
+    config = CampaignConfig(
+        benchmark=args.benchmark,
+        scale=args.scale,
+        data_seed=args.data_seed,
+        stats_sample=args.stats_sample,
+        stats_seed=args.stats_seed,
+        seed=args.seed,
+        count=args.count,
+        generator=GeneratorConfig(max_joins=args.max_joins),
+        max_dims=args.max_dims,
+        ratio=args.ratio,
+        lambda_=args.anorexic_lambda,
+        workers=args.workers,
+    )
+
+    def progress(outcome):
+        status = outcome.status.upper() if not outcome.ok else "ok"
+        print(
+            f"  [{outcome.index:>4}] {outcome.name:<12} {outcome.geometry:<10} "
+            f"{status}"
+            + (f"  mso={outcome.mso:.3f}/{outcome.bound:.2f}" if outcome.mso else ""),
+            flush=True,
+        )
+
+    started = time.time()
+    report = run_campaign(config, progress=progress if args.progress else None)
+    elapsed = time.time() - started
+    print(report.describe())
+    print(f"  elapsed        : {elapsed:.1f} s "
+          f"({elapsed / config.count * 1000:.0f} ms/query, "
+          f"{config.workers} worker(s))")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

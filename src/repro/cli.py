@@ -25,6 +25,9 @@ across machines:
 * ``serve-load`` — replay thousands of concurrent sessions against the
   front-end (simulated fast path or real asyncio) and gate on zero
   silent drops;
+* ``fuzz``    — generate a seeded random workload, pick each query's ESS
+  dimensions by error-sensitivity, and validate every measured MSO
+  against the 4(1+λ)ρ guarantee (``--out`` writes BENCH_workload.json);
 * ``refresh`` — compile a bouquet, inject localized statistics drift,
   and refresh it: ``--delta`` runs the delta engine (re-planning only
   drift-suspect ESS locations), ``--verify`` checks the result
@@ -363,6 +366,27 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .bench.workload import main as fuzz_main
+
+    argv = [
+        "--benchmark", args.benchmark,
+        "--count", str(args.count),
+        "--seed", str(args.seed),
+        "--scale", str(args.scale),
+        "--data-seed", str(args.data_seed),
+        "--stats-sample", str(args.stats_sample),
+        "--max-joins", str(args.max_joins),
+        "--max-dims", str(args.max_dims),
+        "--workers", str(args.workers),
+    ]
+    if args.progress:
+        argv.append("--progress")
+    if args.out:
+        argv.extend(["--out", args.out])
+    return fuzz_main(argv)
+
+
 def _cmd_serve_load(args) -> int:
     from .bench.serve_load import main as load_main
 
@@ -556,6 +580,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the serving telemetry as a JSONL trace",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the pipeline with generated queries: random acyclic SPJ "
+        "workloads, per-query sensitivity-chosen ESS dimensions, every "
+        "measured MSO checked against the 4(1+lambda)rho bound",
+    )
+    p_fuzz.add_argument(
+        "--benchmark", choices=("tpch", "tpcds"), default="tpch",
+        help="synthetic environment to fuzz over (default: tpch)",
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=200,
+        help="number of generated queries (default 200)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=42,
+        help="the campaign seed: pins the query stream end to end; the same "
+        "seed replays the identical campaign (recorded in the JSON report)",
+    )
+    p_fuzz.add_argument("--scale", type=float, default=0.003, help="scale factor")
+    p_fuzz.add_argument(
+        "--data-seed", type=int, default=7, help="data generation seed"
+    )
+    p_fuzz.add_argument(
+        "--stats-sample", type=int, default=1500,
+        help="rows sampled per column for optimizer statistics",
+    )
+    p_fuzz.add_argument(
+        "--max-joins", type=int, default=4,
+        help="largest join-tree size sampled per query",
+    )
+    p_fuzz.add_argument(
+        "--max-dims", type=int, default=3,
+        help="ESS dimensions kept per query by sensitivity ranking",
+    )
+    p_fuzz.add_argument(
+        "--workers", type=int, default=1, help="campaign shards (processes)"
+    )
+    p_fuzz.add_argument(
+        "--progress", action="store_true", help="print one line per fuzzed query"
+    )
+    p_fuzz.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the BENCH_workload.json payload here",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_load = sub.add_parser(
         "serve-load",

@@ -11,7 +11,11 @@ Figures 14-18) and against the real execution engine (Table 3):
   under the first-quadrant invariant; plans are chosen by the AxisPlans
   heuristic and executed in *spill* mode so the budget concentrates on
   learning one selectivity at a time; contours are crossed early when the
-  learned location already prices beyond the current budget.
+  learned location already prices beyond the current budget.  Spilled
+  output is stored, not discarded, so a spilled run whose plan fits the
+  contour budget resumes past the spill node and answers the query —
+  which is what keeps every (contour, plan) pair down to a single
+  budget-capped charge and hence the MSO within ``4(1+λ)ρ``.
 """
 
 from __future__ import annotations
@@ -121,18 +125,31 @@ class ExecutionService:
     def run_spilled(
         self, plan_id: int, budget: float, unlearned_pids: FrozenSet[str]
     ) -> ExecutionOutcome:
-        """Execute in spill mode: stop after the first node carrying an
-        unlearned error pid, discarding its output (§5.3)."""
+        """Execute in spill mode (§5.3, spill-to-store variant): run the
+        subtree up to the first node carrying an unlearned error pid,
+        *storing* its output.  If the subtree resolves within the budget
+        the run resumes the rest of the plan over the stored output — so
+        a spilled execution that fits the budget answers the query
+        outright (``completed=True``).  A non-completing spilled run
+        always charges the full budget.
+
+        This keeps the MSO accounting of §3 intact for the optimized
+        driver: every (contour, plan) pair charges at most one contour
+        budget, because a spill either answers the query or proves the
+        plan cannot complete under this budget."""
         raise NotImplementedError
 
 
 class AbstractExecutionService(ExecutionService):
     """Cost-model-world execution against a hidden true location ``qa``.
 
-    A full run completes iff the plan's true cost fits the budget; a
-    spilled run advances the learned selectivity of the targeted dimension
-    to the point where the spilled subtree's cost meets the budget
-    (found by bisection on the plan's parametric cost function).
+    A full run completes iff the plan's true cost fits the budget.  A
+    spilled run answers the query when the whole plan fits the budget
+    (spill-to-store resume); otherwise it charges the full budget,
+    learning the targeted dimension exactly when the spilled subtree
+    resolved, or advancing its lower bound to the point where the
+    subtree's cost meets the budget (found by bisection on the plan's
+    parametric cost function).
     """
 
     def __init__(self, bouquet: PlanBouquet, qa_values: Sequence[float]):
@@ -194,14 +211,26 @@ class AbstractExecutionService(ExecutionService):
             est = cost_plan(node, self._schema, model, assignment)
             return est.cost
 
-        full_cost = subtree_cost(1.0)
-        if full_cost <= budget:
+        plan_cost = self.true_cost(plan_id)
+        if plan_cost <= budget:
+            # Spill-to-store: the stored subtree resolved and the resumed
+            # plan fits the budget too — this execution answers the query.
             learned = [
                 LearnedSelectivity(pid, self._truth[pid], exact=True)
                 for pid in target_pids
             ]
             return ExecutionOutcome(
-                completed=True, cost_spent=full_cost, learned=learned
+                completed=True, cost_spent=plan_cost, learned=learned
+            )
+        if subtree_cost(1.0) <= budget:
+            # The subtree resolved (exact learning) but the resumed plan
+            # hit the cost horizon: the budget is fully consumed.
+            learned = [
+                LearnedSelectivity(pid, self._truth[pid], exact=True)
+                for pid in target_pids
+            ]
+            return ExecutionOutcome(
+                completed=False, cost_spent=budget, learned=learned
             )
         # Bisect the largest progress fraction that fits the budget.
         lo_t, hi_t = 0.0, 1.0
@@ -561,6 +590,16 @@ class BouquetRunner:
             )
             trace.append(record)
             self._trace_execution(record)
+            if outcome.completed:
+                # Spill-to-store completion: the resumed plan finished
+                # under the budget, so this execution answered the query.
+                return BouquetRunResult(
+                    total_cost=total,
+                    executions=trace,
+                    final_plan_id=choice.plan_id,
+                    completed=True,
+                    result_rows=outcome.result_rows,
+                )
             # Merge the learning into q_run (first-quadrant invariant: the
             # learned values are lower bounds, so max-merge is safe).
             pid_to_dim = {dim.pid: i for i, dim in enumerate(dims)}

@@ -3,12 +3,16 @@
 from .diagram import PlanCostCache, PlanDiagram, coarse_subgrid
 from .dimensioning import (
     DimensionImpact,
+    SensitivityScore,
     Uncertainty,
     WorkloadErrorLog,
+    candidate_error_dimensions,
     classify_predicate,
     eliminate_low_impact_dimensions,
     measure_dimension_impacts,
+    measure_error_sensitivity,
     select_error_dimensions,
+    sensitivity_error_dimensions,
 )
 from .posp import ContourBandResult, contour_focused_posp, diagram_from_band
 from .reduction import DEFAULT_LAMBDA, ReducedAssignment, anorexic_reduce, reduced_diagram
@@ -17,12 +21,16 @@ from .space import ErrorDimension, Location, SelectivitySpace
 
 __all__ = [
     "DimensionImpact",
+    "SensitivityScore",
     "Uncertainty",
     "WorkloadErrorLog",
+    "candidate_error_dimensions",
     "classify_predicate",
     "eliminate_low_impact_dimensions",
     "measure_dimension_impacts",
+    "measure_error_sensitivity",
     "select_error_dimensions",
+    "sensitivity_error_dimensions",
     "PlanCostCache",
     "PlanDiagram",
     "coarse_subgrid",

@@ -1,6 +1,6 @@
 """Identifying the error-prone selectivity dimensions (§4.1, §8).
 
-Three complementary mechanisms from the paper:
+Four complementary mechanisms:
 
 * **Uncertainty classification rules** (after Kabra & DeWitt, cited in
   §4.1): each predicate is graded from NONE to VERY_HIGH uncertainty
@@ -10,6 +10,14 @@ Three complementary mechanisms from the paper:
 * **Dimension elimination by cost derivative** (§8, item iii): a
   candidate dimension whose selectivity barely moves any optimal plan's
   cost on a low-resolution sweep can be dropped from the ESS.
+* **Error-sensitivity ranking** (PARQO-style, beyond the paper): for
+  each candidate the base-assignment-optimal plan is re-costed across a
+  selectivity sweep of that predicate alone and compared against the
+  sweep's true optimum; the worst-case suboptimality *penalty* measures
+  how badly an estimation error on that predicate could hurt, which is
+  exactly what an ESS dimension exists to protect against.  This is the
+  automatic per-query strategy the workload generator
+  (:mod:`repro.wlgen`) uses in place of Table 2's hand-picked dims.
 """
 
 from __future__ import annotations
@@ -221,3 +229,145 @@ def eliminate_low_impact_dimensions(
         best = max(impacts, key=lambda imp: imp.cost_span)
         kept = [best.dimension]
     return kept, impacts
+
+
+# ---------------------------------------------------------------------------
+# Error-sensitivity ranking (PARQO-style penalty of estimation error)
+# ---------------------------------------------------------------------------
+
+#: Selectivity range for candidate *selection* dimensions (mirrors
+#: :data:`repro.query.workload.SELECTION_DIM_RANGE` without the import
+#: cycle a module-level import would create).
+_SELECTION_CANDIDATE_RANGE = (1e-4, 1.0)
+
+#: Decades below the legal maximum spanned by candidate join dimensions.
+_JOIN_CANDIDATE_DECADES = 3.0
+
+
+@dataclass
+class SensitivityScore:
+    """Measured error-sensitivity of one candidate dimension.
+
+    ``penalty`` is the worst-case multiplicative suboptimality the
+    base-optimal plan suffers when the candidate's selectivity is swept
+    across its legal range (>= 1; 1 means errors on this predicate are
+    harmless).  ``cost_span`` is the max/min ratio of the *optimal* cost
+    along the same sweep — the §8 derivative signal, kept as a
+    tie-breaking secondary indicator.
+    """
+
+    dimension: ErrorDimension
+    penalty: float
+    cost_span: float
+
+    @property
+    def key(self) -> Tuple[float, float, str]:
+        """Descending-sort key: penalty, then span, then stable pid."""
+        return (-self.penalty, -self.cost_span, self.dimension.pid)
+
+
+def candidate_error_dimensions(query: Query) -> List[ErrorDimension]:
+    """Every predicate of ``query`` as a candidate ESS dimension.
+
+    Join candidates span :data:`_JOIN_CANDIDATE_DECADES` orders of
+    magnitude below their schematically-legal maximum (1/|PK| for FK
+    joins, §4.1); selection candidates span
+    :data:`_SELECTION_CANDIDATE_RANGE`.  Ordered by pid so downstream
+    ranking is deterministic.
+    """
+    from ..query.workload import join_dim_maximum
+
+    schema = query.schema
+    dims: List[ErrorDimension] = []
+    for pid in query.predicate_ids:
+        pred = query.predicate(pid)
+        if isinstance(pred, JoinPredicate):
+            hi = join_dim_maximum(schema, pred)
+            lo = hi / (10.0 ** _JOIN_CANDIDATE_DECADES)
+            label = f"{pred.left_table}x{pred.right_table}"
+        else:
+            lo, hi = _SELECTION_CANDIDATE_RANGE
+            label = f"{pred.table}.{pred.column}"
+        dims.append(ErrorDimension(pid=pid, lo=lo, hi=hi, label=label))
+    return dims
+
+
+def measure_error_sensitivity(
+    optimizer: Optimizer,
+    query: Query,
+    candidates: Sequence[ErrorDimension],
+    base_assignment: Mapping[str, float],
+    resolution: int = 4,
+) -> List[SensitivityScore]:
+    """Score each candidate by the damage a selectivity error could do.
+
+    For every candidate dimension in isolation: sweep ``resolution``
+    log-spaced selectivities across its range while the rest of the
+    assignment stays at ``base_assignment``; at each point, cost the plan
+    that was optimal at the *base* assignment (the plan a native
+    optimizer trusting its estimate would run) and divide by the true
+    optimal cost there.  The maximum of that ratio is the candidate's
+    penalty.  Results come back sorted most-sensitive-first by
+    :attr:`SensitivityScore.key`.
+    """
+    if resolution < 2:
+        raise EssError("sensitivity ranking needs at least 2 points per dim")
+    base = dict(base_assignment)
+    base_plan = optimizer.optimize(query, assignment=base).plan
+    scores: List[SensitivityScore] = []
+    for dim in candidates:
+        penalty = 1.0
+        costs = []
+        for i in range(resolution):
+            t = i / (resolution - 1)
+            value = dim.lo * (dim.hi / dim.lo) ** t
+            assignment = dict(base)
+            assignment[dim.pid] = value
+            optimal = optimizer.optimize(query, assignment=assignment)
+            frozen = optimizer.cost(query, base_plan, assignment)
+            costs.append(optimal.cost)
+            penalty = max(penalty, frozen.cost / max(optimal.cost, 1e-300))
+        scores.append(
+            SensitivityScore(
+                dimension=dim,
+                penalty=penalty,
+                cost_span=max(costs) / max(min(costs), 1e-300),
+            )
+        )
+    scores.sort(key=lambda score: score.key)
+    return scores
+
+
+def sensitivity_error_dimensions(
+    optimizer: Optimizer,
+    query: Query,
+    base_assignment: Mapping[str, float],
+    candidates: Optional[Sequence[ErrorDimension]] = None,
+    max_dims: int = 3,
+    min_penalty: float = 1.05,
+    resolution: int = 4,
+) -> Tuple[List[ErrorDimension], List[SensitivityScore]]:
+    """Pick the ESS dimensions of ``query`` by error-sensitivity ranking.
+
+    The automatic replacement for Table 2's hand-picked dimension lists:
+    candidates default to *every* predicate
+    (:func:`candidate_error_dimensions`), each is scored by
+    :func:`measure_error_sensitivity`, and the top ``max_dims`` whose
+    penalty reaches ``min_penalty`` are kept.  At least one dimension is
+    always returned (the highest-penalty candidate) so the ESS never
+    degenerates.  Returns ``(chosen, all_scores)`` with ``all_scores``
+    sorted most-sensitive-first.
+    """
+    if max_dims < 1:
+        raise EssError("sensitivity selection needs max_dims >= 1")
+    if candidates is None:
+        candidates = candidate_error_dimensions(query)
+    if not candidates:
+        raise EssError("no candidate dimensions to rank")
+    scores = measure_error_sensitivity(
+        optimizer, query, candidates, base_assignment, resolution
+    )
+    chosen = [s.dimension for s in scores[:max_dims] if s.penalty >= min_penalty]
+    if not chosen:
+        chosen = [scores[0].dimension]
+    return chosen, scores

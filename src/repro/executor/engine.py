@@ -9,8 +9,11 @@ deterministic cost-perturbation models bounded cost-model error δ (§3.4).
 Supported executions:
 
 * full — run the plan to completion or until the budget kills it;
-* spilled — run only the subtree up to the first error-prone node,
-  discarding its output (§5.3), to learn a selectivity cheaply.
+* spilled — run the subtree up to the first error-prone node, storing
+  its output (§5.3, spill-to-store variant), to learn a selectivity
+  cheaply; when the subtree resolves within the budget the run resumes
+  the rest of the plan over the stored output, so a spilled execution
+  that fits the budget answers the query outright.
 """
 
 from __future__ import annotations
@@ -184,16 +187,47 @@ class ExecutionEngine:
         cancel: Optional[object] = None,
     ) -> Tuple[ExecutionResult, Optional[PlanNode]]:
         """Spill-mode run: execute up to the first node evaluating one of
-        ``spill_pids``, discard its output.  Returns the result and the
-        spill node (None when the plan carries no such node — the run then
-        degenerates to a full execution)."""
+        ``spill_pids``, storing its output.  If the spill node resolves
+        within the budget, execution resumes the full plan over the
+        stored output — ``completed`` on the returned result means the
+        *query* was answered; whether the spill node itself finished
+        (exact learning) is read off ``instrumentation.finished(node)``.
+        Returns the result and the spill node (None when the plan carries
+        no such node — the run then degenerates to a full execution)."""
         node = first_error_node(plan, frozenset(spill_pids))
         target = node if node is not None else plan
         inst = Instrumentation(budget, cancel=cancel)
         inst.needed_columns = needed_columns(query)
         rows = 0
+        stored: List[Batch] = []
         try:
             for batch in self._run(target, query, inst):
+                rows += batch_length(batch)
+                if node is not None:
+                    stored.append(batch)
+        except (BudgetExceeded, ExecutionCancelled) as exc:
+            outcome = ExecutionResult(
+                completed=False,
+                rows=rows,
+                spent=inst.total_cost,
+                instrumentation=inst,
+                cancelled=isinstance(exc, ExecutionCancelled),
+            )
+            self._trace_run(True, outcome)
+            return outcome, node
+        if node is None:
+            outcome = ExecutionResult(
+                completed=True, rows=rows, spent=inst.total_cost, instrumentation=inst
+            )
+            self._trace_run(True, outcome)
+            return outcome, node
+        # Spill-to-store resume: the subtree resolved under budget; run
+        # the rest of the plan, replaying the stored output (already
+        # charged and counted) when execution reaches the spill node.
+        inst.replay = (node, stored)
+        rows = 0
+        try:
+            for batch in self._run(plan, query, inst):
                 rows += batch_length(batch)
         except (BudgetExceeded, ExecutionCancelled) as exc:
             outcome = ExecutionResult(
@@ -225,6 +259,10 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
 
     def _run(self, node: PlanNode, query: Query, inst: Instrumentation) -> Iterator[Batch]:
+        if inst.replay is not None and node is inst.replay[0]:
+            # Resumed spill execution: the node's output was stored by
+            # the spill pass (its work is already charged and counted).
+            return iter(inst.replay[1])
         if isinstance(node, SeqScan):
             return self._run_seq_scan(node, query, inst)
         if isinstance(node, IndexScan):

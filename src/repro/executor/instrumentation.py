@@ -49,6 +49,10 @@ class Instrumentation:
         #: Optional projection-pushdown set: qualified column names the
         #: run needs; ``None`` means all columns (SELECT *).
         self.needed_columns = None
+        #: Optional ``(node, batches)`` spill-store replay: when a
+        #: resumed spill execution reaches ``node``, its stored output is
+        #: yielded instead of re-running the (already charged) subtree.
+        self.replay = None
         self._counters: Dict[int, NodeCounters] = {}
         self._nodes: Dict[int, PlanNode] = {}
 

@@ -88,13 +88,15 @@ class RealExecutionService(ExecutionService):
                 result_rows=result.rows if result.completed else None,
             )
         learned = self._learn(node, result, unlearned_pids)
-        # "completed" for a spilled run means the spill node finished (its
-        # learning is exact); the *query* is only ever completed by full
-        # runs — the driver treats spilled completions accordingly.
+        # "completed" means the query was answered: the spill-to-store
+        # resume ran the whole plan within the budget.  Exactness of the
+        # learning is a separate fact — the spill node may have finished
+        # even when the resumed plan later hit the cost horizon.
         return ExecutionOutcome(
             completed=result.completed,
             cost_spent=result.spent,
             learned=learned,
+            result_rows=result.rows if result.completed else None,
         )
 
     # ------------------------------------------------------------------
@@ -112,7 +114,7 @@ class RealExecutionService(ExecutionService):
             return []
         pid = target_pids[0]
         tuples_out = result.instrumentation.tuples_out(node)
-        exact = result.completed
+        exact = result.instrumentation.finished(node)
         denominator = self._denominator(node)
         if denominator <= 0:
             return []
@@ -130,10 +132,16 @@ class RealExecutionService(ExecutionService):
         if isinstance(node, Join):
             left = self._subtree_cardinality(node.left)
             if node.algo == "inl":
+                # The inner's residual filters may themselves be error
+                # dims (they are local to this join); the denominator
+                # must only bake in the error-free ones — like the scan
+                # branch below — so the measured ratio stays a valid
+                # per-dimension lower bound.
                 inner: IndexLookup = node.right  # type: ignore[assignment]
-                right = self._filtered_table_cardinality(
-                    inner.table, inner.filter_pids
+                error_free = tuple(
+                    pid for pid in inner.filter_pids if pid not in self._dim_pids
                 )
+                right = self._filtered_table_cardinality(inner.table, error_free)
             else:
                 right = self._subtree_cardinality(node.right)
             return left * right

@@ -244,7 +244,11 @@ class IndexLookup(PlanNode):
     """Inner side of an index nested-loop join: per-outer-tuple lookups.
 
     Never costed standalone; :class:`Join` with ``algo='inl'`` folds the
-    per-lookup cost into the join formula.
+    per-lookup cost into the join formula.  For the same reason its
+    ``local_pids`` are empty: the residual ``filter_pids`` are evaluated
+    per-lookup *by the enclosing join*, which reports them — so spill
+    machinery (``first_error_node``) targets the join, the smallest
+    subtree that can actually be costed or executed.
     """
 
     def __init__(self, table: str, lookup_column: str, filter_pids: Tuple[str, ...] = ()):
@@ -258,7 +262,7 @@ class IndexLookup(PlanNode):
 
     @property
     def local_pids(self):
-        return frozenset(self.filter_pids)
+        return frozenset()
 
     def tables(self):
         return frozenset((self.table,))
@@ -361,6 +365,11 @@ class Join(PlanNode):
 
     @property
     def local_pids(self):
+        # An INL join also evaluates the inner side's residual filters
+        # (per-lookup); IndexLookup itself reports none — see its docs.
+        if self.algo == "inl":
+            inner: IndexLookup = self.right  # type: ignore[assignment]
+            return frozenset(self.join_pids) | frozenset(inner.filter_pids)
         return frozenset(self.join_pids)
 
     def tables(self):

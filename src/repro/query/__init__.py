@@ -3,6 +3,13 @@
 from .joingraph import JoinGraph
 from .predicates import JoinPredicate, SelectionPredicate
 from .query import Query
-from .sql import parse_query
+from .sql import parse_query, render_sql
 
-__all__ = ["JoinGraph", "JoinPredicate", "SelectionPredicate", "Query", "parse_query"]
+__all__ = [
+    "JoinGraph",
+    "JoinPredicate",
+    "SelectionPredicate",
+    "Query",
+    "parse_query",
+    "render_sql",
+]

@@ -5,6 +5,7 @@ Grammar (case-insensitive keywords)::
     SELECT * | SELECT COUNT(*)
     FROM table [, table ...]
     [WHERE conjunct [AND conjunct ...]]
+    [GROUP BY t.c [, t.c ...]]
 
 where each conjunct is an equi-join ``t1.c1 = t2.c2``, a selection
 ``t.c <op> literal`` with ``<op>`` in ``= < <= > >=``, or an IN-list
@@ -12,6 +13,11 @@ where each conjunct is an equi-join ``t1.c1 = t2.c2``, a selection
 Unqualified column names are resolved against the FROM tables when
 unambiguous.  This is exactly the fragment of the paper's workload
 (Figure 1's EQ query parses verbatim).
+
+:func:`render_sql` is the inverse: it prints a :class:`Query` back into
+this fragment losslessly (``repr``-precision constants, canonical
+predicate ordering), so generated queries (:mod:`repro.wlgen`) can be
+persisted as plain SQL and replayed bit-for-bit.
 """
 
 from __future__ import annotations
@@ -138,6 +144,55 @@ def _try_literal(token: str) -> Optional[float]:
         return float(token)
     except ValueError:
         return None
+
+
+# ---------------------------------------------------------------------------
+# Rendering (the parser's inverse)
+# ---------------------------------------------------------------------------
+
+
+def _render_literal(value: float) -> str:
+    """Render a numeric constant so ``float(text) == value`` exactly.
+
+    ``repr`` round-trips every IEEE double (shortest such decimal), which
+    is what makes render -> parse lossless; the ``%g``-style truncation
+    used for pid display is *not* safe here.
+    """
+    return repr(float(value))
+
+
+def render_sql(query: Query) -> str:
+    """Render a :class:`Query` into the SPJ SQL fragment, canonically.
+
+    The output is stable for structurally identical queries: FROM keeps
+    the query's table order, WHERE lists joins then selections, each
+    class sorted by its stable pid, and constants are rendered at full
+    ``repr`` precision.  ``parse_query(render_sql(q), q.schema)``
+    reproduces ``q`` exactly (same tables, same predicate pids, same
+    group-by and aggregate flag) up to the query name.
+    """
+    select = "COUNT(*)" if query.aggregate else "*"
+    parts = [f"SELECT {select} FROM {', '.join(query.tables)}"]
+    conjuncts: List[str] = []
+    for join in sorted(query.joins, key=lambda j: j.pid):
+        conjuncts.append(
+            f"{join.left_table}.{join.left_column} = "
+            f"{join.right_table}.{join.right_column}"
+        )
+    for sel in sorted(query.selections, key=lambda s: s.pid):
+        if sel.op == "in":
+            inner = ", ".join(_render_literal(v) for v in sel.value)
+            conjuncts.append(f"{sel.table}.{sel.column} IN ({inner})")
+        else:
+            conjuncts.append(
+                f"{sel.table}.{sel.column} {sel.op} {_render_literal(sel.value)}"
+            )
+    if conjuncts:
+        parts.append("WHERE " + " AND ".join(conjuncts))
+    if query.group_by:
+        groups = ", ".join(f"{t}.{c}" for t, c in query.group_by)
+        parts.append(f"GROUP BY {groups}")
+    return " ".join(parts)
 
 
 def _resolve(

@@ -155,23 +155,26 @@ class BatchCoster:
         budget: float,
         unlearned: FrozenSet[str],
         truth: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, ...]]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Tuple[int, ...]]:
         """Batched :meth:`AbstractExecutionService.run_spilled`.
 
         ``truth`` holds the clamped true selectivities of the batch
-        (rows x dims).  Returns ``(completed, cost_spent, learned,
-        target_dims)`` where ``learned`` has one column per target dim:
-        the exact truth for completed rows, the bisected lower bound for
-        budget-exhausted rows.
+        (rows x dims).  Returns ``(answered, exact, cost_spent, learned,
+        target_dims)``: ``answered`` rows completed the *query* (the
+        spill-to-store resume fit the budget, spending the plan's true
+        cost); ``exact`` rows resolved the spilled subtree — exact
+        learning — but the resumed plan consumed the whole budget; all
+        other rows charge the budget and learn the bisected lower bound.
+        ``learned`` has one column per target dim.
         """
         n = len(truth)
         node, target_dims = self.spill_node(plan_id, unlearned)
         if node is None:
             # No error-prone node: degenerate to a full run at the truth.
             cost = self.plan_cost(plan_id, truth)
-            completed = cost <= budget
-            spent = np.where(completed, cost, budget)
-            return completed, spent, np.empty((n, 0)), ()
+            answered = cost <= budget
+            spent = np.where(answered, cost, budget)
+            return answered, np.zeros(n, dtype=bool), spent, np.empty((n, 0)), ()
 
         base = self.assignment(truth)
         lows = np.array([self.dims[j].lo for j in target_dims])
@@ -192,13 +195,17 @@ class BatchCoster:
             return self._cost(node, assignment, int(rows.sum()))
 
         every = np.ones(n, dtype=bool)
-        full_cost = subtree_cost(np.ones(n), every)
-        completed = full_cost <= budget
-        spent = np.where(completed, full_cost, budget)
+        subtree_full = subtree_cost(np.ones(n), every)
+        plan_full = self.plan_cost(plan_id, truth)
+        # Spill-to-store: the plan fits the budget -> the query is
+        # answered; only the subtree fits -> exact learning, full budget.
+        answered = plan_full <= budget
+        exact = ~answered & (subtree_full <= budget)
+        spent = np.where(answered, plan_full, budget)
         learned = np.empty((n, len(target_dims)))
         for col, j in enumerate(target_dims):
             learned[:, col] = np.asarray(base[self.dims[j].pid])
-        rows = ~completed
+        rows = ~answered & ~exact
         if rows.any():
             m = int(rows.sum())
             at0 = subtree_cost(np.zeros(m), rows)
@@ -219,7 +226,7 @@ class BatchCoster:
                 learned[rows, col] = np.where(
                     tv <= lo, tv, lo * (tv / lo) ** lo_t
                 )
-        return completed, spent, learned, target_dims
+        return answered, exact, spent, learned, target_dims
 
     # -- grid helpers ---------------------------------------------------
 

@@ -450,13 +450,23 @@ class SweepEngine:
         coster = self.cache.coster
         cid = cohort.cid
         truth = self.cache.truth[flat[sel]]
-        completed, spent, learned, target_dims = coster.run_spilled(
+        answered, exact_mask, spent, learned, target_dims = coster.run_spilled(
             plan_id, budget, unlearned, truth
         )
         qrun_new = qrun[sel].copy()
         for col, j in enumerate(target_dims):
             qrun_new[:, j] = np.maximum(qrun_new[:, j], learned[:, col])
         total_new = total[sel] + spent
+        rows_sel = rows[sel]
+
+        # Spill-to-store completions: the resumed plan finished under the
+        # budget, answering the query — these locations are done (direct
+        # writes, like the fallback winners).
+        if answered.any():
+            self._out[rows_sel[answered]] = total_new[answered]
+        remaining = ~answered
+        if not remaining.any():
+            return
 
         # Early contour change (Figure 13's last step): the learned
         # location already prices at/above this contour's budget.
@@ -466,26 +476,22 @@ class SweepEngine:
         pruned_plans = frozenset(
             pid for k, pid in enumerate(plan_list) if bits >> k & 1
         )
-        rows_sel = rows[sel]
-        for comp in (True, False):
-            comp_mask = completed == comp
-            if not comp_mask.any():
+        for exact_spill in (True, False):
+            kind_mask = remaining & (exact_mask == exact_spill)
+            if not kind_mask.any():
                 continue
             exact2 = cohort.exact
-            if comp and target_dims:
+            if exact_spill and target_dims:
                 exact2 = cohort.exact | set(target_dims)
             attempted2 = cohort.attempted | pruned_plans | {plan_id}
-            exhausted2 = cohort.exhausted | pruned_plans
-            if not comp:
-                # A failed spill always consumed the full budget, so the
-                # plan is proven unable to complete under it (PCM).
-                exhausted2 = exhausted2 | {plan_id}
+            # A non-answering spill always consumed the full budget, so
+            # the plan is proven unable to complete under it (PCM).
+            exhausted2 = cohort.exhausted | pruned_plans | {plan_id}
             for crs in (True, False):
-                mask = comp_mask & (crossed == crs)
+                mask = kind_mask & (crossed == crs)
                 if not mask.any():
                     continue
-                signature = ("spill", cid, plan_id, bits, comp, crs)
-                charge = 0.0 if comp else budget
+                signature = ("spill", cid, plan_id, bits, exact_spill, crs)
                 if crs:
                     children.append(
                         self._child(
@@ -493,7 +499,7 @@ class SweepEngine:
                             signature,
                             cid=cid + 1, exact=exact2,
                             attempted=frozenset(), exhausted=frozenset(),
-                            charge=charge,
+                            charge=budget,
                         )
                     )
                 else:
@@ -503,7 +509,7 @@ class SweepEngine:
                             signature,
                             cid=cid, exact=exact2,
                             attempted=attempted2, exhausted=exhausted2,
-                            charge=charge,
+                            charge=budget,
                         )
                     )
 

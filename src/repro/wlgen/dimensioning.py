@@ -1,0 +1,84 @@
+"""Per-query ESS dimensioning for generated workloads.
+
+Hand-authored workloads (``query/workload.py``) ship curated dimension
+lists; a random query has none, so the campaign must *discover* which
+predicates deserve ESS axes.  This module is the glue between the
+generator and the error-sensitivity strategy in
+:mod:`repro.ess.dimensioning`: rank every predicate of a query by the
+worst-case damage a selectivity error on it could do, keep the top few,
+and package the result (dimensions + full score table + the base
+assignment used) for the campaign record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..datagen.database import Database
+from ..ess.dimensioning import SensitivityScore, sensitivity_error_dimensions
+from ..ess.space import ErrorDimension
+from ..optimizer.optimizer import Optimizer
+from ..optimizer.selectivity import actual_selectivities
+from ..query.query import Query
+
+__all__ = ["DimensioningResult", "dimension_query"]
+
+
+@dataclass
+class DimensioningResult:
+    """The chosen ESS axes for one query, with full provenance."""
+
+    dimensions: List[ErrorDimension]
+    scores: List[SensitivityScore]
+    base_assignment: Dict[str, float]
+
+    @property
+    def pids(self) -> List[str]:
+        return [dim.pid for dim in self.dimensions]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dimensions": self.pids,
+            "scores": [
+                {
+                    "pid": score.dimension.pid,
+                    "penalty": score.penalty,
+                    "cost_span": score.cost_span,
+                }
+                for score in self.scores
+            ],
+            "base_assignment": dict(sorted(self.base_assignment.items())),
+        }
+
+
+def dimension_query(
+    optimizer: Optimizer,
+    query: Query,
+    database: Database,
+    max_dims: int = 3,
+    min_penalty: float = 1.05,
+    resolution: int = 4,
+    base_assignment: Optional[Mapping[str, float]] = None,
+) -> DimensioningResult:
+    """Choose ESS dimensions for one generated query.
+
+    The base assignment defaults to the query's *actual* selectivities
+    on ``database`` — the campaign knows ground truth, so sensitivity is
+    measured around the point the executed query will actually occupy.
+    """
+    if base_assignment is None:
+        base_assignment = actual_selectivities(query, database)
+    dimensions, scores = sensitivity_error_dimensions(
+        optimizer,
+        query,
+        base_assignment,
+        max_dims=max_dims,
+        min_penalty=min_penalty,
+        resolution=resolution,
+    )
+    return DimensioningResult(
+        dimensions=dimensions,
+        scores=scores,
+        base_assignment=dict(base_assignment),
+    )

@@ -109,8 +109,25 @@ class TestOptimizedRunner:
     def test_spilled_executions_present(self, eq_bouquet):
         result = simulate_at(eq_bouquet, (40,), mode="optimized")
         assert any(e.spilled for e in result.executions)
-        # The completing execution is a full one.
-        assert not result.executions[-1].spilled
+        # The last execution is the one that answered the query — either
+        # a full run or a spill whose resumed plan fit the budget.
+        assert result.executions[-1].completed
+
+    def test_contour_charges_respect_rho_accounting(self, eq_bouquet):
+        """The 4(1+λ)ρ bound rests on each contour charging at most ρ
+        budget-capped executions; spill-to-store keeps every
+        (contour, plan) pair down to a single charge."""
+        budgets = {c.index: b for c, b in zip(eq_bouquet.contours, eq_bouquet.budgets)}
+        for loc in [(0,), (13,), (40,), (63,)]:
+            result = simulate_at(eq_bouquet, loc, mode="optimized")
+            per_contour = {}
+            for e in result.executions:
+                per_contour[e.contour_index] = (
+                    per_contour.get(e.contour_index, 0.0) + e.cost_spent
+                )
+            for contour_index, spent in per_contour.items():
+                allowance = eq_bouquet.rho * budgets[contour_index]
+                assert spent <= allowance * (1 + 1e-9)
 
     def test_repeatability(self, eq_bouquet):
         a = simulate_at(eq_bouquet, (40,), mode="optimized")

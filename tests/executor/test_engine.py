@@ -160,7 +160,7 @@ class TestBudgets:
 
 
 class TestSpilledExecution:
-    def test_spill_stops_at_error_node(self, engine, eq_query, eq_pids):
+    def test_spill_resumes_after_error_node_resolves(self, engine, eq_query, eq_pids):
         sel, j_lp, j_lo = eq_pids
         plan = Join(
             "hash",
@@ -170,10 +170,35 @@ class TestSpilledExecution:
         )
         result, node = engine.execute_spilled(eq_query, plan, {sel})
         assert node is not None and sel in node.local_pids
+        # Unlimited budget: the stored spill output is replayed and the
+        # resumed plan answers the query at exactly the full plan's cost
+        # (the spilled subtree is charged once, never re-executed).
         assert result.completed
-        # Spilled run costs less than the full plan.
+        assert result.instrumentation.finished(node)
         full = engine.execute(eq_query, plan)
-        assert result.spent < full.spent
+        assert result.rows == full.rows
+        assert result.spent == pytest.approx(full.spent)
+
+    def test_spill_tight_budget_learns_without_answering(
+        self, engine, eq_query, eq_pids
+    ):
+        sel, j_lp, j_lo = eq_pids
+        plan = Join(
+            "hash",
+            Join("hash", SeqScan("lineitem"), SeqScan("orders"), (j_lo,)),
+            SeqScan("part", (sel,)),
+            (j_lp,),
+        )
+        full = engine.execute(eq_query, plan)
+        subtree = engine.execute(eq_query, SeqScan("part", (sel,)))
+        budget = (subtree.spent + full.spent) / 2
+        result, node = engine.execute_spilled(eq_query, plan, {sel}, budget=budget)
+        # The spill node resolved (exact learning) but the resumed plan
+        # hit the cost horizon: budget fully consumed, query unanswered.
+        assert node is not None
+        assert not result.completed
+        assert result.instrumentation.finished(node)
+        assert result.spent == pytest.approx(budget)
 
     def test_spill_without_error_node_runs_full(self, engine, eq_query, eq_pids):
         sel, *_ = eq_pids

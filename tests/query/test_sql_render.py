@@ -1,0 +1,94 @@
+"""render_sql: the parser's lossless inverse (satellite of repro.wlgen)."""
+
+import pytest
+
+from repro.query import JoinPredicate, Query, SelectionPredicate, parse_query, render_sql
+from repro.wlgen import QueryGenerator
+
+
+class TestRoundTrip:
+    def test_hundred_seeded_queries_round_trip(self, schema, database):
+        """render -> parse -> render is the identity on 100 generated
+        queries, and the re-parsed query is structurally identical."""
+        generator = QueryGenerator(schema, database)
+        for generated in generator.generate_many(2024, 100):
+            sql = generated.sql
+            reparsed = parse_query(sql, schema)
+            query = generated.query
+            assert reparsed.tables == query.tables
+            assert reparsed.predicate_ids == query.predicate_ids
+            assert sorted(reparsed.group_by) == sorted(query.group_by)
+            assert reparsed.aggregate == query.aggregate
+            assert render_sql(reparsed) == sql
+
+    def test_constants_survive_at_full_precision(self, schema):
+        """repr-precision literals: exact float identity, not ~1e-6 fuzz."""
+        awkward = [0.1 + 0.2, 1e-7, 123456789.123456789, 2.0**-40, 1e21]
+        for value in awkward:
+            query = Query(
+                "precision", schema, ["lineitem"],
+                selections=[
+                    SelectionPredicate("lineitem", "l_quantity", "<", value)
+                ],
+            )
+            reparsed = parse_query(render_sql(query), schema)
+            assert reparsed.selections[0].value == float(value)
+
+    def test_in_list_round_trips(self, schema):
+        query = Query(
+            "inlist", schema, ["lineitem"],
+            selections=[
+                SelectionPredicate(
+                    "lineitem", "l_shipdate", "in", (7.0, 3.0, 1913.0)
+                )
+            ],
+        )
+        reparsed = parse_query(render_sql(query), schema)
+        assert reparsed.selections[0].value == query.selections[0].value
+
+
+class TestCanonicalOrdering:
+    def test_predicate_order_is_stable(self, schema):
+        """Structurally identical queries render identically regardless of
+        the order predicates were supplied in."""
+        joins = [
+            JoinPredicate("part", "p_partkey", "lineitem", "l_partkey"),
+            JoinPredicate("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ]
+        sels = [
+            SelectionPredicate("part", "p_retailprice", "<", 1000.0),
+            SelectionPredicate("orders", "o_totalprice", ">", 5.5),
+        ]
+        a = Query("a", schema, ["lineitem", "orders", "part"],
+                  selections=sels, joins=joins)
+        b = Query("b", schema, ["lineitem", "orders", "part"],
+                  selections=list(reversed(sels)), joins=list(reversed(joins)))
+        assert render_sql(a) == render_sql(b)
+
+    def test_joins_render_before_selections(self, schema):
+        query = Query(
+            "order", schema, ["lineitem", "part"],
+            selections=[SelectionPredicate("part", "p_retailprice", "<", 10.0)],
+            joins=[JoinPredicate("part", "p_partkey", "lineitem", "l_partkey")],
+        )
+        sql = render_sql(query)
+        assert sql.index("p_partkey") < sql.index("p_retailprice")
+
+    def test_eq_query_shape(self, eq_query):
+        sql = render_sql(eq_query)
+        assert sql.startswith("SELECT * FROM lineitem, orders, part WHERE ")
+        assert "part.p_retailprice < 1000.0" in sql
+
+    def test_aggregate_and_group_by(self, schema):
+        query = Query(
+            "agg", schema, ["lineitem"],
+            selections=[SelectionPredicate("lineitem", "l_quantity", "<", 10.0)],
+            group_by=[("lineitem", "l_shipmode")],
+            aggregate=True,
+        )
+        sql = render_sql(query)
+        assert sql.startswith("SELECT COUNT(*) FROM")
+        assert sql.endswith("GROUP BY lineitem.l_shipmode")
+        reparsed = parse_query(sql, schema)
+        assert reparsed.aggregate
+        assert list(reparsed.group_by) == [("lineitem", "l_shipmode")]
