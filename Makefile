@@ -28,6 +28,15 @@
 #                     sessions, every request answered with a typed response
 #   make fuzz-smoke   fast MSO fuzzing gate: 25 generated queries through the
 #                     full pipeline, zero crashes / bound violations required
+#   make fuzz-smoke-tpcds  same fuzzing gate over the TPC-DS snowflake
+#                     schema (6 queries; exercises multi-FK fact tables)
+#   make bench-template  benchmark the cross-query template cache: rebind
+#                     vs. fresh compile on a templated wlgen workload;
+#                     writes BENCH_template.json and fails under 5x speedup,
+#                     on incomplete template coverage, or on any bit-level
+#                     divergence from a fresh compile
+#   make template-smoke  fast template-tier gate: nonzero template hits and
+#                     zero equivalence violations on a small workload
 #   make bench-workload  full fuzzing campaign: 200 generated queries with
 #                     sensitivity-chosen ESS dims; writes BENCH_workload.json
 #                     and fails on any crash or MSO above 4(1+lambda)rho
@@ -39,7 +48,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench-serve serve-load-smoke fuzz-smoke bench-workload bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench-serve serve-load-smoke fuzz-smoke fuzz-smoke-tpcds bench-template template-smoke bench-workload bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -60,7 +69,7 @@ serve-smoke:
 
 check: lint serve-smoke
 
-ci: lint sweep-smoke compile-smoke drift-smoke serve-load-smoke fuzz-smoke
+ci: lint sweep-smoke compile-smoke drift-smoke serve-load-smoke fuzz-smoke template-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench-sched:
@@ -104,6 +113,20 @@ serve-load-smoke:
 # gates as bench-workload, on a 25-query campaign; deterministic).
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.workload --count 25
+
+# The same fuzzing gates over the TPC-DS snowflake schema — multi-FK
+# fact tables stress join-tree sampling and template canonicalization.
+fuzz-smoke-tpcds:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.workload --count 6 \
+		--benchmark tpcds
+
+bench-template:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.template --out BENCH_template.json
+
+# Fast pass of the template bench (coverage + bit-exact equivalence
+# gates; the tiny workload's speedup is reported but not enforced).
+template-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.template --smoke
 
 bench-workload:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.workload --count 200 \

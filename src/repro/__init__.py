@@ -99,6 +99,12 @@ from .serve import (
     ServeResult,
     TenantQuota,
 )
+from .template import (
+    TemplateSignature,
+    TemplateStore,
+    rebind_compiled,
+    template_signature,
+)
 
 __version__ = "1.0.0"
 
@@ -183,4 +189,8 @@ __all__ = [
     "SeerStrategy",
     "ValidationReport",
     "validate_bouquet",
+    "TemplateSignature",
+    "TemplateStore",
+    "rebind_compiled",
+    "template_signature",
 ]

@@ -117,6 +117,16 @@ class BouquetConfig:
     delta-refresh engine (:mod:`repro.drift`) before falling back to
     invalidation.  Like the engine and crossing knobs it is a runtime
     knob — never part of the artifact cache key.
+
+    ``template`` governs the cross-query template cache
+    (:mod:`repro.template`): when enabled (default) the serving layer
+    and :func:`compile_bouquet` (given a ``templates=`` store) answer a
+    miss on the exact-key artifact store by rebinding a compiled bouquet
+    from another instance of the same query template.  Rebinds are
+    validated structurally and fall back to a full compile on any
+    mismatch, so the knob only trades compile latency — it never changes
+    the artifact.  Like ``patch`` it is a runtime knob, never part of
+    the artifact cache key.
     """
 
     ratio: float = 2.0
@@ -129,6 +139,7 @@ class BouquetConfig:
     cost_model: str = "postgres"
     compile_engine: str = "batch"
     patch: bool = True
+    template: bool = True
 
     def __post_init__(self):
         if self.ratio <= 1.0:
@@ -158,6 +169,8 @@ class BouquetConfig:
             )
         if not isinstance(self.patch, bool):
             raise BouquetError("config: patch must be a bool")
+        if not isinstance(self.template, bool):
+            raise BouquetError("config: template must be a bool")
 
     @property
     def cost_model_object(self) -> CostModel:
@@ -193,13 +206,15 @@ class BouquetConfig:
             "cost_model": self.cost_model,
             "compile_engine": self.compile_engine,
             "patch": self.patch,
+            "template": self.template,
         }
 
     @staticmethod
     def from_dict(data: Mapping[str, object]) -> "BouquetConfig":
-        # Artifacts written before the batch engine (``compile_engine``)
-        # or the maintenance knob (``patch``) existed omit those keys;
-        # the dataclass defaults cover them.
+        # Artifacts written before the batch engine (``compile_engine``),
+        # the maintenance knob (``patch``), or the template-cache knob
+        # (``template``) existed omit those keys; the dataclass defaults
+        # cover them.
         return BouquetConfig(**dict(data))
 
 
@@ -356,6 +371,7 @@ def compile_bouquet(
     workers: Optional[int] = None,
     cache: Optional["object"] = None,
     optimizer: Optional[Optimizer] = None,
+    templates: Optional["object"] = None,
 ) -> CompiledBouquet:
     """Run the compile-time phase (Figure 8, left half).
 
@@ -368,8 +384,13 @@ def compile_bouquet(
     ``cache`` may be a :class:`repro.serve.BouquetArtifactStore`; when the
     (query, statistics, compile-knobs) content hash is already cached the
     compiled artifact is returned without a single optimizer call.
-    Explicit ``dimensions``/``base_assignment`` overrides bypass the
-    cache (they are not part of the key).
+    ``templates`` may be a :class:`repro.template.TemplateStore`; when the
+    exact key misses but another instance of the same query *template*
+    was compiled before, the artifact is rebound from it
+    (:mod:`repro.template.rebind`) instead of recompiled — falling back
+    to the full compile on any structural mismatch.  Explicit
+    ``dimensions``/``base_assignment`` overrides bypass both caches
+    (they are not part of either key).
 
     ``workers > 1`` parallelizes exhaustive POSP generation across
     processes (§4.2) via the hardened fork/spawn pool.
@@ -379,23 +400,78 @@ def compile_bouquet(
     sql = query if isinstance(query, str) else None
     if isinstance(query, str):
         query = parse_query(query, catalog.schema)
-    if cache is not None and dimensions is None and base_assignment is None:
+    if dimensions is not None or base_assignment is not None:
+        return _compile_pipeline(
+            query, catalog, config, dimensions, base_assignment, tracer, workers,
+            optimizer, sql, span_name="api.compile",
+        )
+    if cache is not None:
         from .serve.fingerprint import artifact_key
 
         key = artifact_key(query, catalog.statistics, config)
         hit = cache.get(key, catalog, query=query, tracer=tracer)
         if hit is not None:
             return hit
-        compiled = _compile_pipeline(
-            query, catalog, config, None, None, tracer, workers, optimizer, sql,
-            span_name="api.compile",
+        compiled = _template_or_compile(
+            query, catalog, config, tracer, workers, optimizer, sql, templates
         )
         cache.put(key, compiled, tracer=tracer)
         return compiled
-    return _compile_pipeline(
-        query, catalog, config, dimensions, base_assignment, tracer, workers,
-        optimizer, sql, span_name="api.compile",
+    return _template_or_compile(
+        query, catalog, config, tracer, workers, optimizer, sql, templates
     )
+
+
+def _template_or_compile(
+    query: Query,
+    catalog: Catalog,
+    config: BouquetConfig,
+    tracer: Tracer,
+    workers: Optional[int],
+    optimizer: Optional[Optimizer],
+    sql: Optional[str],
+    templates: Optional["object"],
+) -> CompiledBouquet:
+    """Answer from the template tier when possible, else full-compile
+    (and register the result as the template's representative)."""
+    if templates is None or not config.template:
+        return _compile_pipeline(
+            query, catalog, config, None, None, tracer, workers, optimizer, sql,
+            span_name="api.compile",
+        )
+    from .exceptions import TemplateError
+    from .serve.fingerprint import config_fingerprint, statistics_fingerprint
+    from .template import rebind_compiled, template_signature
+
+    sig = template_signature(query, catalog.schema, catalog.statistics)
+    stats_digest = statistics_fingerprint(catalog.statistics)
+    cfg_digest = config_fingerprint(config)
+    entry = templates.lookup(sig, stats_digest, cfg_digest)
+    if entry is not None:
+        tracer.count("template.hits")
+        try:
+            outcome = rebind_compiled(
+                entry.compiled, entry.signature, query, catalog,
+                instance_sig=sig, sql=sql, tracer=tracer,
+            )
+        except TemplateError as exc:
+            tracer.count("template.fallbacks")
+            if tracer.enabled:
+                tracer.event(
+                    "template.fallback", query=query.name, reason=exc.reason
+                )
+        else:
+            tracer.count("template.rebinds")
+            return outcome.compiled
+    else:
+        tracer.count("template.misses")
+    compiled = _compile_pipeline(
+        query, catalog, config, None, None, tracer, workers, optimizer, sql,
+        span_name="api.compile",
+    )
+    templates.put(sig, compiled, stats_digest, cfg_digest)
+    tracer.count("template.stores")
+    return compiled
 
 
 def _compile_pipeline(

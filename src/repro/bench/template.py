@@ -1,0 +1,350 @@
+"""Template-cache bench: templated workload, rebind vs. fresh compile.
+
+The perf gate for the cross-query template tier (:mod:`repro.template`):
+a seeded wlgen workload of ``templates`` query shapes with ``bindings``
+constant-rebindings each is served twice through a
+:class:`~repro.serve.BouquetServer` —
+
+* a **baseline pass** with the template tier disabled
+  (``BouquetConfig(template=False)``): every instance compiles from
+  scratch through the ordinary single-flight path;
+* a **template pass** with the tier enabled on a fresh server: the first
+  instance of each template compiles and registers the representative,
+  every later binding rebinds (:func:`repro.template.rebind_compiled`).
+
+The workload is range-predicate-only on purpose: range selections all
+become error dimensions, so two bindings of one template differ *only*
+in dimension-pid constants — the rebind's delta refresh takes the
+identity path and plans **zero** ESS locations.  That is the whole
+economics of the tier; equality/IN constants would move non-dimension
+base selectivities and degrade rebinds into partial recompiles.
+
+Acceptance criteria (``make bench-template`` gates on all of it):
+
+* **speedup** — the template pass must be at least ``--min-speedup``
+  (default 5x) faster end to end than the baseline pass;
+* **coverage** — every non-exemplar instance must be served from the
+  template tier (``hits == rebinds == instances - templates``, zero
+  fallbacks);
+* **equivalence** — every served bouquet must be bit-identical to a
+  fresh from-scratch compile of the same instance
+  (:func:`repro.drift.bouquets_equal`), zero violations.
+
+``make bench-template`` writes ``BENCH_template.json``;
+``make template-smoke`` runs the same gates (minus the 5x bar, which a
+tiny grid cannot meaningfully clear) on a smaller workload for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..api import BouquetConfig, Catalog, compile_bouquet
+from ..catalog.tpch import tpch_generator_spec, tpch_schema
+from ..datagen.database import Database
+from ..drift import bouquets_equal
+from ..obs.tracer import MemorySink, Tracer
+from ..serve.cache import BouquetArtifactStore
+from ..serve.server import BouquetServer
+from ..wlgen.generator import GeneratorConfig, QueryGenerator
+
+__all__ = ["TemplateBenchReport", "run_template_bench", "main"]
+
+#: Range-only sampling: every selection becomes an error dimension, so
+#: rebinding a template instance is an identity delta refresh.
+TEMPLATED_WORKLOAD_CONFIG = GeneratorConfig(
+    min_joins=2,
+    max_joins=2,
+    min_predicates=2,
+    max_predicates=2,
+    equality_weight=0.0,
+    range_weight=1.0,
+    in_weight=0.0,
+    groupby_probability=0.0,
+    aggregate_probability=0.0,
+)
+
+
+def _optimized_locations(tracer: Tracer) -> float:
+    return tracer.counters.get("optimizer.calls", 0) + tracer.counters.get(
+        "optimizer.batched_locations", 0
+    )
+
+
+@dataclass
+class TemplateBenchReport:
+    """Outcome of one baseline-vs-template workload comparison."""
+
+    templates: int
+    bindings: int
+    instances: int
+    baseline_seconds: float
+    template_seconds: float
+    baseline_optimizer_locations: float
+    template_optimizer_locations: float
+    template_hits: float
+    template_misses: float
+    template_rebinds: float
+    template_fallbacks: float
+    template_sources: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    min_speedup: float = 5.0
+    require_speedup: bool = True
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / max(self.template_seconds, 1e-12)
+
+    @property
+    def coverage_ok(self) -> bool:
+        """Compile-once-per-template economics actually held.
+
+        Exactly one from-scratch compile per template; every other
+        instance came from a rebind or (for bindings whose constants
+        collided into the same exact key) the exact cache; the tier was
+        exercised at least once and never fell back.
+        """
+        return (
+            self.template_sources.count("compiled") == self.templates
+            and self.template_misses == self.templates
+            and self.template_hits == self.template_rebinds
+            and self.template_rebinds >= 1
+            and self.template_fallbacks == 0
+            and all(
+                source in ("compiled", "template", "memory", "disk")
+                for source in self.template_sources
+            )
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.coverage_ok
+            and not self.violations
+            and (not self.require_speedup or self.speedup >= self.min_speedup)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "templates": self.templates,
+            "bindings": self.bindings,
+            "instances": self.instances,
+            "baseline_seconds": self.baseline_seconds,
+            "template_seconds": self.template_seconds,
+            "speedup": self.speedup,
+            "min_speedup": self.min_speedup,
+            "require_speedup": self.require_speedup,
+            "baseline_optimizer_locations": self.baseline_optimizer_locations,
+            "template_optimizer_locations": self.template_optimizer_locations,
+            "template_hits": self.template_hits,
+            "template_misses": self.template_misses,
+            "template_rebinds": self.template_rebinds,
+            "template_fallbacks": self.template_fallbacks,
+            "template_sources": self.template_sources,
+            "violations": self.violations,
+            "coverage_ok": self.coverage_ok,
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        from .reporting import format_table
+
+        speedup_bar = (
+            f"(need >= {self.min_speedup:g}x)"
+            if self.require_speedup
+            else "(informational)"
+        )
+        rows = [
+            ["workload", f"{self.templates} templates x {self.bindings} bindings"],
+            ["baseline pass", f"{self.baseline_seconds:.4f}s"],
+            ["template pass", f"{self.template_seconds:.4f}s"],
+            ["speedup", f"{self.speedup:.1f}x {speedup_bar}"],
+            [
+                "optimizer locations",
+                f"{self.baseline_optimizer_locations:g} baseline vs "
+                f"{self.template_optimizer_locations:g} templated",
+            ],
+            [
+                "template tier",
+                f"{self.template_hits:g} hits / {self.template_misses:g} misses "
+                f"/ {self.template_rebinds:g} rebinds "
+                f"/ {self.template_fallbacks:g} fallbacks",
+            ],
+            [
+                "coverage",
+                "one compile per template, rest rebound"
+                if self.coverage_ok
+                else f"INCOMPLETE ({self.template_sources.count('compiled'):g} "
+                f"compiles for {self.templates} templates)",
+            ],
+            [
+                "equivalence",
+                "all bit-identical to fresh compiles"
+                if not self.violations
+                else f"{len(self.violations)} VIOLATIONS",
+            ],
+            ["verdict", "OK" if self.ok else "FAIL"],
+        ]
+        return format_table(["template bench", "value"], rows, title="template bench")
+
+
+def run_template_bench(
+    templates: int = 4,
+    bindings: int = 16,
+    scale: float = 0.002,
+    seed: int = 7,
+    stats_sample: int = 800,
+    resolution: int = 32,
+    min_speedup: float = 5.0,
+    require_speedup: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> TemplateBenchReport:
+    """Serve a templated wlgen workload with and without the template tier."""
+    schema = tpch_schema(scale)
+    database = Database.generate(schema, tpch_generator_spec(scale), seed=seed)
+    statistics = database.build_statistics(sample_size=stats_sample, seed=seed)
+    catalog = Catalog(schema, statistics=statistics, database=database)
+    generator = QueryGenerator(schema, database, TEMPLATED_WORKLOAD_CONFIG)
+
+    # Scan the campaign for template shapes with at least two (range)
+    # selections — a selection-free shape has no error dimensions and
+    # every binding of it is the *same* query, which exercises the exact
+    # cache rather than the template tier.
+    workload = []
+    chosen = 0
+    index = 0
+    while chosen < templates:
+        if index > 100 * templates:
+            raise RuntimeError(
+                "template bench: campaign yielded too few usable templates"
+            )
+        exemplar = generator.generate(seed, index)
+        if len(exemplar.query.selections) < 2:
+            index += 1
+            continue
+        workload.extend(
+            item.query for item in generator.generate_template(seed, index, bindings)
+        )
+        chosen += 1
+        index += 1
+
+    # Baseline: template tier off, memory-only store, fresh server.
+    base_tracer = Tracer(MemorySink())
+    base_config = BouquetConfig(resolution=resolution, template=False)
+    with BouquetServer(
+        catalog,
+        config=base_config,
+        store=BouquetArtifactStore(tracer=base_tracer),
+        tracer=base_tracer,
+    ) as server:
+        t0 = time.perf_counter()
+        for query in workload:
+            server.compile(query)
+        baseline_seconds = time.perf_counter() - t0
+    baseline_locations = _optimized_locations(base_tracer)
+
+    # Template pass: tier on, fresh server so nothing is pre-warmed.
+    tracer = tracer if tracer is not None else Tracer(MemorySink())
+    config = BouquetConfig(resolution=resolution, template=True)
+    sources: List[str] = []
+    served = []
+    with BouquetServer(
+        catalog,
+        config=config,
+        store=BouquetArtifactStore(tracer=tracer),
+        tracer=tracer,
+    ) as server:
+        t0 = time.perf_counter()
+        for query in workload:
+            compiled, source = server.compile(query)
+            sources.append(source)
+            served.append(compiled)
+        template_seconds = time.perf_counter() - t0
+    template_locations = _optimized_locations(tracer)
+
+    # Equivalence: every served bouquet must match a fresh compile of
+    # the same instance, bit for bit (untimed — pure validation).
+    violations: List[str] = []
+    for query, compiled, source in zip(workload, served, sources):
+        reference = compile_bouquet(query, catalog, config=config)
+        for problem in bouquets_equal(compiled.bouquet, reference.bouquet):
+            violations.append(f"{query.name} (served via {source}): {problem}")
+
+    return TemplateBenchReport(
+        templates=templates,
+        bindings=bindings,
+        instances=len(workload),
+        baseline_seconds=baseline_seconds,
+        template_seconds=template_seconds,
+        baseline_optimizer_locations=baseline_locations,
+        template_optimizer_locations=template_locations,
+        template_hits=tracer.counters.get("serve.template.hits", 0),
+        template_misses=tracer.counters.get("serve.template.misses", 0),
+        template_rebinds=tracer.counters.get("serve.template.rebinds", 0),
+        template_fallbacks=tracer.counters.get("serve.template.fallbacks", 0),
+        template_sources=sources,
+        violations=violations,
+        min_speedup=min_speedup,
+        require_speedup=require_speedup,
+        counters=dict(tracer.counters),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.template",
+        description="benchmark the cross-query template cache: rebind vs. "
+        "fresh compile on a templated wlgen workload",
+    )
+    parser.add_argument("--templates", type=int, default=4)
+    parser.add_argument("--bindings", type=int, default=16)
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--stats-sample", type=int, default=800)
+    parser.add_argument("--resolution", type=int, default=32)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small CI workload; gates on coverage and equivalence but "
+        "reports speedup as informational only",
+    )
+    parser.add_argument("--out", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_template_bench(
+            templates=2,
+            bindings=4,
+            scale=args.scale,
+            seed=args.seed,
+            stats_sample=args.stats_sample,
+            resolution=16,
+            min_speedup=args.min_speedup,
+            require_speedup=False,
+        )
+    else:
+        report = run_template_bench(
+            templates=args.templates,
+            bindings=args.bindings,
+            scale=args.scale,
+            seed=args.seed,
+            stats_sample=args.stats_sample,
+            resolution=args.resolution,
+            min_speedup=args.min_speedup,
+        )
+    print(report.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

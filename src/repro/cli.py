@@ -329,7 +329,9 @@ def _cmd_serve(args) -> int:
 
         tracer = Tracer(MemorySink())
     config = BouquetConfig(
-        resolution=args.resolution, compile_engine=args.compile_engine
+        resolution=args.resolution,
+        compile_engine=args.compile_engine,
+        template=not args.no_template,
     )
     store = BouquetArtifactStore(root=args.store, tracer=tracer)
     runtime = AsyncioRuntime(max_workers=args.workers)
@@ -563,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact store directory (default: memory-only)",
     )
     p_serve.add_argument("--workers", type=int, default=8)
+    p_serve.add_argument(
+        "--no-template", action="store_true",
+        help="disable the cross-query template cache tier (every miss "
+        "compiles from scratch instead of rebinding a shared template)",
+    )
     p_serve.add_argument(
         "--quota-rate", type=float, default=200.0,
         help="per-tenant sustained requests/second",

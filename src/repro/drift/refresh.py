@@ -158,6 +158,8 @@ def delta_refresh(
     ratio: Optional[float] = None,
     probes_per_dim: int = 3,
     halo: int = 0,
+    max_probe_divergence: Optional[float] = None,
+    max_suspect_fraction: Optional[float] = None,
 ) -> DeltaRefreshResult:
     """Refresh ``old_bouquet`` onto ``new_space``, re-planning only the
     drift-suspect locations (see the module docstring for the pass
@@ -167,6 +169,16 @@ def delta_refresh(
     must share the old space's dimensions and shape (raises
     :class:`~repro.exceptions.DriftError` otherwise — callers fall back
     to the seed-and-merge path or a full recompile).
+
+    ``max_probe_divergence`` and ``max_suspect_fraction`` bound how far
+    the carried artifact may drift before the delta path gives up: the
+    first caps the relative gap between the incumbent POSP's best cost
+    and the DP optimum at the probe locations, the second caps the
+    fraction of the grid the frontier diff marks suspect.  Exceeding
+    either raises :class:`~repro.exceptions.DriftError` — used by the
+    template-cache rebind, which prefers a clean full compile over a
+    delta pass that would re-plan most of the grid anyway.  ``None``
+    (the default) disables the bound.
     """
     old_space = old_bouquet.space
     _check_compatible(old_space, new_space)
@@ -227,6 +239,7 @@ def delta_refresh(
             if wid not in known:
                 known.add(wid)
                 candidates.append(wid)
+        n_incumbent = len(candidates)
         lut = np.zeros(max(old_ids) + 1, dtype=np.int64)
         for plan_id, wid in wid_of.items():
             lut[plan_id] = wid
@@ -251,8 +264,32 @@ def delta_refresh(
         winner = np.array(candidates, dtype=np.int64)[np.argmin(stacked, axis=0)]
         ties = (stacked == min_cost).sum(axis=0) > 1
 
+        if max_probe_divergence is not None:
+            # How stale is the carried POSP?  At every probe the DP cost
+            # is ground truth; compare it against the best the *incumbent*
+            # plans (the first n_incumbent candidate rows — probe
+            # newcomers were appended after them) can do there.
+            incumbent_min = np.min(stacked[:n_incumbent], axis=0)
+            worst = 0.0
+            for loc, (_wid, dp_cost) in probe_plan.items():
+                gap = (float(incumbent_min[loc]) - dp_cost) / max(dp_cost, 1e-300)
+                worst = max(worst, gap)
+            if worst > max_probe_divergence:
+                raise DriftError(
+                    f"carried plans diverge {worst:.1%} from the DP optimum "
+                    f"at the probes (tolerance {max_probe_divergence:.1%})"
+                )
+
         # Pass 3: frontier diff (ties always suspect), optional halo.
         suspect = _dilate((winner != old_wid) | ties, steps=halo)
+        if max_suspect_fraction is not None:
+            fraction = float(suspect.sum()) / float(suspect.size)
+            if fraction > max_suspect_fraction:
+                raise DriftError(
+                    f"{fraction:.1%} of the grid is drift-suspect "
+                    f"(tolerance {max_suspect_fraction:.1%}); a full "
+                    "compile is cheaper than the delta pass"
+                )
 
         # Pass 4: DP slabs over the suspects (probes already planned),
         # then chase DP-discovered newcomers to a fixpoint: a plan the

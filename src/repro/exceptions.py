@@ -56,6 +56,18 @@ class BouquetError(ReproError):
     """Raised when bouquet identification or execution cannot proceed."""
 
 
+class TemplateError(ReproError):
+    """Raised when a compiled bouquet cannot be rebound from a cached
+    template onto a new query instance (dimension/grid mismatch, renamed
+    relations that are not statistically interchangeable, or re-costed
+    contours diverging beyond tolerance).  Callers treat it as "fall
+    back to a full compile" and record the carried ``reason``."""
+
+    def __init__(self, message, reason="rebind-failed"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class DriftError(ReproError):
     """Raised when a statistics delta makes an artifact un-patchable (the
     drift changed the error dimensions, the grid shape, or more than the

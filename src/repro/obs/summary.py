@@ -174,6 +174,8 @@ class ServingSummary:
     compile_seconds: float = 0.0
     execute_spans: int = 0
     execute_seconds: float = 0.0
+    rebind_spans: int = 0
+    rebind_seconds: float = 0.0
 
     def _c(self, name: str) -> float:
         return self.counters.get(name, 0)
@@ -225,6 +227,24 @@ class ServingSummary:
             self._c("serve.cache.hit_memory") + self._c("serve.cache.hit_disk")
         ) / lookups
 
+    @property
+    def template_lookups(self) -> float:
+        return self._c("serve.template.hits") + self._c("serve.template.misses")
+
+    @property
+    def template_hit_rate(self) -> float:
+        lookups = self.template_lookups
+        if not lookups:
+            return 0.0
+        return self._c("serve.template.hits") / lookups
+
+    @property
+    def rebind_latency(self) -> float:
+        """Mean wall seconds per template rebind attempt."""
+        if not self.rebind_spans:
+            return 0.0
+        return self.rebind_seconds / self.rebind_spans
+
     def describe(self) -> str:
         from ..bench.reporting import format_table
 
@@ -252,6 +272,30 @@ class ServingSummary:
             "",
             format_table(["requests", "value"], request_rows, title="request ladder"),
         ]
+        if self.template_lookups or self._c("serve.template.stores"):
+            template_rows = [
+                ["hits", self._c("serve.template.hits")],
+                ["misses", self._c("serve.template.misses")],
+                ["hit rate", f"{self.template_hit_rate:.0%}"],
+                ["rebinds", self._c("serve.template.rebinds")],
+                ["fallbacks", self._c("serve.template.fallbacks")],
+                ["coalesced", self._c("serve.template.coalesced")],
+                ["stores", self._c("serve.template.stores")],
+                [
+                    "rebind latency",
+                    f"{self.rebind_latency * 1e3:.2f} ms"
+                    if self.rebind_spans
+                    else "-",
+                ],
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["template", "value"],
+                    template_rows,
+                    title="template cache",
+                )
+            )
         if self.front_requests:
             completed = sorted(
                 (name.rsplit(".", 1)[1], value)
@@ -318,6 +362,9 @@ def summarize_serving(records: Iterable[Dict[str, Any]]) -> ServingSummary:
             elif name == "serve.execute":
                 summary.execute_spans += 1
                 summary.execute_seconds += float(record.get("dur", 0.0))
+            elif name == "serve.template.rebind":
+                summary.rebind_spans += 1
+                summary.rebind_seconds += float(record.get("dur", 0.0))
     return summary
 
 

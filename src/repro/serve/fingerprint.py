@@ -31,6 +31,7 @@ __all__ = [
     "ArtifactKey",
     "artifact_key",
     "canonical_query_text",
+    "canonical_template_text",
     "config_fingerprint",
     "statistics_fingerprint",
 ]
@@ -45,14 +46,36 @@ def _digest(payload: str) -> str:
 
 
 def canonical_query_text(query: Query) -> str:
-    """Name-independent canonical rendering of a query's structure."""
+    """Name-independent canonical rendering of a query's structure.
+
+    Every component is explicitly sorted — tables, predicate pids, and
+    group-by columns — so two queries that differ only in FROM/WHERE
+    clause order render identically and share an artifact key.
+    (``Query.predicate_ids`` happens to return pids sorted today, but
+    the cache key must not depend on that implementation detail.)
+    """
     parts = [
         "from=" + ",".join(sorted(query.tables)),
-        "preds=" + ";".join(query.predicate_ids),
+        "preds=" + ";".join(sorted(query.predicate_ids)),
         "group=" + ",".join(f"{t}.{c}" for t, c in sorted(query.group_by)),
         "agg=" + ("1" if query.aggregate else "0"),
     ]
     return "|".join(parts)
+
+
+def canonical_template_text(query: Query, schema=None, statistics=None) -> str:
+    """Constants-stripped sibling of :func:`canonical_query_text`.
+
+    Renders the query's *template* — the structure that survives when
+    predicate constants are replaced by ``?`` and relations are reduced
+    to canonical slots (:mod:`repro.template.signature`).  Two instances
+    of one template (same shape, different constants) render identically;
+    this text keys the cross-query template cache tier in front of the
+    exact-key artifact store.
+    """
+    from ..template.signature import template_signature
+
+    return template_signature(query, schema, statistics).text
 
 
 def statistics_fingerprint(statistics: Optional[DatabaseStatistics]) -> str:

@@ -6,9 +6,18 @@ canned queries.  :class:`BouquetServer` makes that operational:
 * every request is keyed by the content hash of (canonical query,
   statistics fingerprint, compile knobs) and answered from the artifact
   store when possible;
+* an exact-key miss then consults the **template tier**
+  (:mod:`repro.template`): when another instance of the same query
+  *template* — same shape, different constants — was compiled before,
+  the artifact is **rebound** from it instead of recompiled (source
+  ``"template"``, counters ``serve.template.*``), falling back to the
+  full compile on any structural mismatch;
 * concurrent misses on the *same* key are **single-flighted** — exactly
   one compile runs, the rest coalesce onto its future (counter
-  ``serve.singleflight.coalesced``);
+  ``serve.singleflight.coalesced``); concurrent misses on different
+  instances of the *same template* coalesce too — one full compile
+  runs, the rest wait and rebind from its artifact (counter
+  ``serve.template.coalesced``);
 * misses compile on a bounded worker pool; a request whose compile
   exceeds its deadline **degrades** to the NAT path (one native
   optimizer call, one unbounded execution — an answer without the MSO
@@ -34,7 +43,7 @@ control, tenant quotas, and load shedding live one layer up, in
 :class:`repro.serve.front.ServeGateway`.
 
 The degradation ladder, top to bottom: memory hit → disk hit →
-single-flight compile → NAT fallback → failure.
+template rebind → single-flight compile → NAT fallback → failure.
 """
 
 from __future__ import annotations
@@ -56,11 +65,12 @@ from ..api import (
     execute as api_execute,
 )
 from ..catalog.statistics import DatabaseStatistics
-from ..exceptions import BouquetError, BudgetExceeded, ReproError
+from ..exceptions import BouquetError, BudgetExceeded, ReproError, TemplateError
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..query.query import Query
 from ..query.sql import parse_query
 from ..robustness.nat import native_run
+from ..template import TemplateSignature, TemplateStore, rebind_compiled, template_signature
 from .cache import BouquetArtifactStore
 from .envelope import ServeRequest, ServeResponse
 from .fingerprint import ArtifactKey, artifact_key, statistics_fingerprint
@@ -97,6 +107,7 @@ class BouquetServer:
         *,
         config: BouquetConfig = DEFAULT_CONFIG,
         store: Optional[BouquetArtifactStore] = None,
+        templates: Optional[TemplateStore] = None,
         max_workers: int = 4,
         compile_timeout: Optional[float] = None,
         compile_workers: Optional[int] = None,
@@ -108,6 +119,12 @@ class BouquetServer:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.store = store if store is not None else BouquetArtifactStore()
+        # The template tier (None only when the config turns it off and
+        # no explicit store is handed in).
+        if templates is not None:
+            self.templates = templates
+        else:
+            self.templates = TemplateStore() if config.template else None
         self.compile_timeout = compile_timeout
         self.compile_workers = compile_workers
         self._pool = ThreadPoolExecutor(
@@ -115,6 +132,7 @@ class BouquetServer:
         )
         self._lock = threading.Lock()
         self._inflight: Dict[str, Future] = {}
+        self._template_inflight: Dict[str, Future] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -156,6 +174,9 @@ class BouquetServer:
             return self.config
         return self.config.with_(compile_engine=engine)
 
+    def _use_templates(self) -> bool:
+        return self.templates is not None and self.config.template
+
     def _compile_and_store(
         self,
         key: ArtifactKey,
@@ -163,7 +184,8 @@ class BouquetServer:
         sql: Optional[str],
         config: Optional[BouquetConfig] = None,
     ) -> CompiledBouquet:
-        """Pool task: run the compile pipeline and publish the artifact."""
+        """Pool task: run the compile pipeline and publish the artifact
+        (to the exact store, and as the template's representative)."""
         compiled = _compile_pipeline(
             query,
             self.catalog,
@@ -177,7 +199,68 @@ class BouquetServer:
             span_name="serve.compile",
         )
         self.store.put(key, compiled, tracer=self.tracer)
+        if self._use_templates():
+            sig = template_signature(
+                query, self.catalog.schema, self.catalog.statistics
+            )
+            self.templates.put(
+                sig, compiled, key.statistics_digest, key.config_digest
+            )
+            if self.tracer.enabled:
+                self.tracer.count("serve.template.stores")
         return compiled
+
+    def _rebind_from_template(
+        self,
+        key: ArtifactKey,
+        query: Query,
+        sql: Optional[str],
+        sig: TemplateSignature,
+    ) -> Optional[CompiledBouquet]:
+        """Try to answer an exact-key miss from the template tier.
+
+        On a template hit the cached representative is rebound onto this
+        instance and the result published under the exact key (so the
+        next identical request is a plain store hit).  Returns ``None``
+        on a template miss or a rebind fallback — the caller proceeds to
+        the full compile.
+        """
+        tracer = self.tracer
+        entry = self.templates.lookup(
+            sig, key.statistics_digest, key.config_digest
+        )
+        if entry is None:
+            if tracer.enabled:
+                tracer.count("serve.template.misses")
+            return None
+        if tracer.enabled:
+            tracer.count("serve.template.hits")
+        try:
+            with tracer.span(
+                "serve.template.rebind", query=query.name, template=sig.digest
+            ):
+                outcome = rebind_compiled(
+                    entry.compiled,
+                    entry.signature,
+                    query,
+                    self.catalog,
+                    instance_sig=sig,
+                    sql=sql,
+                    tracer=tracer,
+                )
+        except TemplateError as exc:
+            if tracer.enabled:
+                tracer.count("serve.template.fallbacks")
+                tracer.event(
+                    "serve.template.fallback",
+                    query=query.name,
+                    reason=exc.reason,
+                )
+            return None
+        if tracer.enabled:
+            tracer.count("serve.template.rebinds")
+        self.store.put(key, outcome.compiled, tracer=tracer)
+        return outcome.compiled
 
     def compile(
         self,
@@ -187,7 +270,7 @@ class BouquetServer:
     ) -> Tuple[CompiledBouquet, str]:
         """Obtain the compiled bouquet for ``query``; returns
         ``(compiled, source)`` where source is ``memory``/``disk``/
-        ``compiled``/``coalesced``.
+        ``template``/``compiled``/``coalesced``.
 
         Raises :class:`FutureTimeoutError` when the (possibly coalesced)
         compile does not finish within ``timeout`` (default: the
@@ -200,43 +283,92 @@ class BouquetServer:
         hit, tier = self.store.lookup(key, self.catalog, query=parsed, tracer=self.tracer)
         if hit is not None:
             return hit, tier
-        digest = key.digest
-        with self._lock:
-            if self._closed:
-                raise BouquetError("server is closed")
-            future = self._inflight.get(digest)
-            if future is None:
-                # A compile that finished between our store miss above and
-                # this lock acquisition has already published its artifact
-                # (_retire runs strictly after the store put), so one more
-                # lookup here closes the race that would duplicate the
-                # compile.  Fast batch compiles made that window easy to
-                # hit: a whole compile can complete while a peer thread is
-                # still between its miss and the lock.
-                # Telemetry-silent: this is a race-closing recheck, not a
-                # second user-visible cache lookup — the pre-lock miss
-                # above already accounted this request.
+        sig: Optional[TemplateSignature] = None
+        if self._use_templates():
+            sig = template_signature(
+                parsed, self.catalog.schema, self.catalog.statistics
+            )
+            compiled = self._rebind_from_template(key, parsed, sql, sig)
+            if compiled is not None:
+                return compiled, "template"
+        timeout = timeout if timeout is not None else self.compile_timeout
+        waited_template = False
+        while True:
+            template_future: Optional[Future] = None
+            with self._lock:
+                if self._closed:
+                    raise BouquetError("server is closed")
+                future = self._inflight.get(key.digest)
+                owner = False
+                template_owner = False
+                if future is None:
+                    # A compile that finished between our store miss above
+                    # and this lock acquisition has already published its
+                    # artifact (_retire runs strictly after the store put),
+                    # so one more lookup here closes the race that would
+                    # duplicate the compile.  Fast batch compiles made that
+                    # window easy to hit: a whole compile can complete while
+                    # a peer thread is still between its miss and the lock.
+                    # Telemetry-silent: this is a race-closing recheck, not
+                    # a second user-visible cache lookup — the pre-lock miss
+                    # above already accounted this request.
+                    hit, tier = self.store.lookup(
+                        key, self.catalog, query=parsed, tracer=NULL_TRACER
+                    )
+                    if hit is not None:
+                        return hit, tier
+                    if sig is not None and not waited_template:
+                        # Another instance of this template is compiling:
+                        # wait for its artifact and rebind from it instead
+                        # of starting a second full compile.
+                        template_future = self._template_inflight.get(sig.digest)
+                    if template_future is None:
+                        owner = True
+                        future = self._pool.submit(
+                            self._compile_and_store, key, parsed, sql,
+                            self._config_for(engine),
+                        )
+                        self._inflight[key.digest] = future
+                        if sig is not None and sig.digest not in self._template_inflight:
+                            self._template_inflight[sig.digest] = future
+                            template_owner = True
+                else:
+                    if self.tracer.enabled:
+                        self.tracer.count("serve.singleflight.coalesced")
+            if template_future is not None:
+                if self.tracer.enabled:
+                    self.tracer.count("serve.template.coalesced")
+                # Wait out the template owner's compile (sharing the
+                # request deadline), then retry: the exact store may now
+                # hold our key (the owner *was* our query raced through a
+                # different thread), or the template tier can rebind.  A
+                # failed or fallback-worthy wait falls through to the
+                # ordinary single-flight full compile.
+                waited_template = True
+                try:
+                    template_future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    raise
+                except Exception:
+                    continue
                 hit, tier = self.store.lookup(
                     key, self.catalog, query=parsed, tracer=NULL_TRACER
                 )
                 if hit is not None:
                     return hit, tier
-                owner = True
-                future = self._pool.submit(
-                    self._compile_and_store, key, parsed, sql,
-                    self._config_for(engine),
-                )
-                self._inflight[digest] = future
-            else:
-                owner = False
-                if self.tracer.enabled:
-                    self.tracer.count("serve.singleflight.coalesced")
+                compiled = self._rebind_from_template(key, parsed, sql, sig)
+                if compiled is not None:
+                    return compiled, "template"
+                continue
+            break
         if owner:
             # Registered outside the lock: a compile that finishes (or
             # fails) instantly runs the callback inline on this thread,
             # and _retire needs the lock we would still be holding.
-            future.add_done_callback(lambda _f, d=digest: self._retire(d))
-        timeout = timeout if timeout is not None else self.compile_timeout
+            tdigest = sig.digest if template_owner else None
+            future.add_done_callback(
+                lambda _f, d=key.digest, t=tdigest: self._retire(d, t)
+            )
         compiled = future.result(timeout=timeout)
         return compiled, ("compiled" if owner else "coalesced")
 
@@ -291,9 +423,11 @@ class BouquetServer:
                     self.tracer.count("serve.warm_compiles")
         return results
 
-    def _retire(self, digest: str) -> None:
+    def _retire(self, digest: str, template_digest: Optional[str] = None) -> None:
         with self._lock:
             self._inflight.pop(digest, None)
+            if template_digest is not None:
+                self._template_inflight.pop(template_digest, None)
 
     # ------------------------------------------------------------------
     # Serve path (compile → execute, with degradation)
@@ -526,6 +660,14 @@ class BouquetServer:
         if patch and fingerprint != statistics_fingerprint(old_statistics):
             self._patch_artifacts(fingerprint, old_statistics)
         removed = self.store.invalidate_statistics(fingerprint, tracer=self.tracer)
+        if self.templates is not None:
+            # The template tier keys on the statistics digest too, so
+            # entries built under the old world view are unreachable —
+            # sweep them (the patch pass above already re-registered the
+            # artifacts it managed to carry over under the new digest).
+            dropped = self.templates.invalidate_statistics(fingerprint)
+            if dropped and self.tracer.enabled:
+                self.tracer.count("serve.template.invalidated", dropped)
         if self.tracer.enabled:
             self.tracer.count("serve.statistics_refreshes")
         return removed
@@ -555,6 +697,21 @@ class BouquetServer:
                     outcome.compiled.query, self.catalog.statistics, compiled.config
                 )
                 self.store.put(new_key, outcome.compiled, tracer=self.tracer)
+                if self._use_templates():
+                    # A patched artifact is a valid representative of its
+                    # template under the *new* statistics — re-register it
+                    # so the template tier survives the refresh warm.
+                    sig = template_signature(
+                        outcome.compiled.query,
+                        self.catalog.schema,
+                        self.catalog.statistics,
+                    )
+                    self.templates.put(
+                        sig,
+                        outcome.compiled,
+                        new_key.statistics_digest,
+                        new_key.config_digest,
+                    )
                 patched += 1
                 if self.tracer.enabled:
                     self.tracer.count("serve.cache.patched")
@@ -565,7 +722,7 @@ class BouquetServer:
         snapshot = self.tracer.snapshot() if self.tracer.enabled else {"counters": {}}
         with self._lock:
             inflight = len(self._inflight)
-        return {
+        stats = {
             "counters": {
                 name: value
                 for name, value in sorted(snapshot["counters"].items())
@@ -574,3 +731,6 @@ class BouquetServer:
             "store": self.store.snapshot(),
             "inflight": inflight,
         }
+        if self.templates is not None:
+            stats["templates"] = self.templates.snapshot()
+        return stats

@@ -1,0 +1,239 @@
+"""Structural query-template signatures.
+
+A *template* is what remains of a query once every predicate constant is
+stripped and the relations are reduced to their structural role: the
+join-graph shape, the predicate types per (table, column), the group-by
+/ aggregate shape, and — when a catalog is supplied — the error
+dimensions the compile would select.  Two *instances* of the same
+template (same shape, different constants) share a signature, which is
+the lookup key of the cross-query bouquet template cache
+(:mod:`repro.template.store`).
+
+Canonicalization is the query-level sibling of
+:meth:`repro.optimizer.plans.PlanNode.canonical_signature`: relations
+are ordered by a Weisfeiler–Leman-style label refinement over the join
+graph (labels built from name-free per-table profiles, so renaming a
+relation to a structurally identical twin does not change its slot),
+with the table *name* only as the final deterministic tie-break between
+genuinely symmetric relations.  The rendering then refers to relations
+by slot index (``@0``, ``@1``, …) and to constants by ``?`` (IN-lists
+keep their length — a 2-list and a 4-list cost differently), so the
+text — and its digest — is invariant under both constant changes and
+twin-relation renaming.
+
+The same canonical orders double as the *rebinding dictionary*: matching
+a template signature against an instance signature pairs table slot i
+with table slot i and predicate slot k with predicate slot k, which is
+how :mod:`repro.template.rebind` maps a compiled bouquet's pids and plan
+trees onto a new instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..catalog.schema import Schema
+from ..catalog.statistics import DatabaseStatistics
+from ..query.predicates import JoinPredicate, SelectionPredicate
+from ..query.query import Query
+
+__all__ = [
+    "TemplateSignature",
+    "canonical_table_order",
+    "template_signature",
+]
+
+#: Refinement rounds beyond which labels cannot change (graph diameter
+#: is bounded by the table count).
+_MAX_ROUNDS_CAP = 16
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _op_class(pred: SelectionPredicate) -> str:
+    """The predicate's constants-stripped operator class.
+
+    IN-lists keep their length: the estimator and the cost model both
+    see the list length, so a 2-list and a 4-list are different
+    templates.
+    """
+    if pred.op == "in":
+        return f"in{len(pred.value)}"
+    return pred.op
+
+
+def _selection_template(slot: int, pred: SelectionPredicate) -> str:
+    return f"@{slot}.{pred.column}{_op_class(pred)}?"
+
+
+def _local_profile(query: Query, table: str) -> str:
+    """Name-free structural profile of one relation in the query.
+
+    Column names are deliberately *kept* — they are structure, not
+    constants: a filter on ``p_retailprice`` and a filter on ``p_size``
+    are different templates because the statistics (and any index) the
+    compile consults differ.  Only the relation's own name is omitted,
+    which is what makes the profile renaming-invariant.
+    """
+    sels = sorted(
+        f"{p.column}:{_op_class(p)}" for p in query.selections if p.table == table
+    )
+    groups = sorted(c for t, c in query.group_by if t == table)
+    degree = sum(1 for j in query.joins if table in j.tables)
+    return f"sel[{','.join(sels)}]|grp[{','.join(groups)}]|deg{degree}"
+
+
+def canonical_table_order(query: Query) -> List[str]:
+    """Relations in canonical slot order, invariant under renaming.
+
+    Weisfeiler–Leman label refinement: start from the name-free local
+    profiles, then repeatedly fold in the multiset of
+    ``(own join column, peer join column, peer label)`` over incident
+    join edges.  After ``min(|tables|, cap)`` rounds the labels are
+    stable; ties between still-identical labels (genuinely symmetric
+    relations) break on the table name, the only point where the name
+    enters.
+    """
+    tables = list(query.tables)
+    labels: Dict[str, str] = {
+        t: _digest(_local_profile(query, t)) for t in tables
+    }
+    for _ in range(min(len(tables), _MAX_ROUNDS_CAP)):
+        refined = {}
+        for t in tables:
+            edges = sorted(
+                f"{j.column_for(t)}~{j.column_for(j.other(t))}~{labels[j.other(t)]}"
+                for j in query.joins
+                if t in j.tables
+            )
+            refined[t] = _digest(labels[t] + "|" + ";".join(edges))
+        if refined == labels:
+            break
+        labels = refined
+    return sorted(tables, key=lambda t: (labels[t], t))
+
+
+@dataclass(frozen=True)
+class TemplateSignature:
+    """A query's template identity plus its rebinding dictionary.
+
+    ``text``/``digest`` identify the template; ``table_order``,
+    ``selection_order`` and ``join_order`` record which concrete tables
+    and predicate pids of *this instance* sit in each canonical slot, so
+    two signatures with equal digests define a slot-for-slot mapping
+    between their instances.
+    """
+
+    text: str
+    digest: str
+    table_order: Tuple[str, ...]
+    selection_order: Tuple[str, ...]
+    join_order: Tuple[str, ...]
+    dimension_pids: Tuple[str, ...] = field(default=())
+
+    @property
+    def predicate_order(self) -> Tuple[str, ...]:
+        """Every predicate pid in canonical slot order (selections first)."""
+        return self.selection_order + self.join_order
+
+    def pid_map_to(self, other: "TemplateSignature") -> Dict[str, str]:
+        """Slot-for-slot pid mapping onto another instance of the same
+        template (signature digests must match)."""
+        if other.digest != self.digest:
+            raise ValueError(
+                "pid_map_to needs two instances of the same template; "
+                f"digests {self.digest} != {other.digest}"
+            )
+        return dict(zip(self.predicate_order, other.predicate_order))
+
+    def table_map_to(self, other: "TemplateSignature") -> Dict[str, str]:
+        """Slot-for-slot table mapping onto another instance."""
+        if other.digest != self.digest:
+            raise ValueError(
+                "table_map_to needs two instances of the same template; "
+                f"digests {self.digest} != {other.digest}"
+            )
+        return dict(zip(self.table_order, other.table_order))
+
+
+def template_signature(
+    query: Query,
+    schema: Optional[Schema] = None,
+    statistics: Optional[DatabaseStatistics] = None,
+) -> TemplateSignature:
+    """Canonicalize ``query`` into its template signature.
+
+    With ``schema`` (and optionally ``statistics``) supplied, the
+    signature also folds in the **error-dimension axes** the compile
+    would select (:func:`repro.api.default_error_dimensions`): two
+    instances whose constants push the §4.1 uncertainty classification
+    apart — e.g. an equality constant moving on/off the MCV list — get
+    *different* template keys instead of a doomed rebind attempt.
+    """
+    slot_of = {t: i for i, t in enumerate(canonical_table_order(query))}
+    by_slot = sorted(slot_of, key=slot_of.get)
+
+    # Selections: canonical order is (slot, column, op-class), with the
+    # constant value only as a last-resort tie-break between predicates
+    # that are template-identical (same column, same operator) — the
+    # i-th smallest constant of one instance maps to the i-th smallest
+    # of the other.
+    def _sel_key(pred: SelectionPredicate):
+        value = pred.value if pred.op != "in" else pred.value[0]
+        return (slot_of[pred.table], pred.column, _op_class(pred), value)
+
+    selections = sorted(query.selections, key=_sel_key)
+    sel_texts = [_selection_template(slot_of[p.table], p) for p in selections]
+
+    # Joins carry no constants; canonical order is their slot-rendered
+    # text (slots are renaming-invariant, so this order is too).
+    def _join_text(join: JoinPredicate) -> str:
+        sides = sorted(
+            (slot_of[t], join.column_for(t)) for t in join.tables
+        )
+        return "=".join(f"@{s}.{c}" for s, c in sides)
+
+    joins = sorted(query.joins, key=_join_text)
+    join_texts = [_join_text(j) for j in joins]
+
+    group_texts = sorted(f"@{slot_of[t]}.{c}" for t, c in query.group_by)
+    parts = [
+        f"tables={len(by_slot)}",
+        "profiles=" + ";".join(_local_profile(query, t) for t in by_slot),
+        "sel=" + ";".join(sel_texts),
+        "join=" + ";".join(join_texts),
+        "group=" + ",".join(group_texts),
+        "agg=" + ("1" if query.aggregate else "0"),
+    ]
+
+    dim_pids: Tuple[str, ...] = ()
+    if schema is not None:
+        from ..api import default_error_dimensions
+
+        dims = default_error_dimensions(query, schema, statistics)
+        pid_text = {}
+        for pred, text in zip(selections, sel_texts):
+            pid_text[pred.pid] = text
+        for join, text in zip(joins, join_texts):
+            pid_text[join.pid] = text
+        parts.append(
+            "dims="
+            + ";".join(
+                f"{pid_text[d.pid]}[{d.lo:.9g},{d.hi:.9g}]" for d in dims
+            )
+        )
+        dim_pids = tuple(d.pid for d in dims)
+
+    text = "|".join(parts)
+    return TemplateSignature(
+        text=text,
+        digest=_digest(text),
+        table_order=tuple(by_slot),
+        selection_order=tuple(p.pid for p in selections),
+        join_order=tuple(j.pid for j in joins),
+        dimension_pids=dim_pids,
+    )

@@ -1,0 +1,146 @@
+"""In-memory LRU store of compiled bouquets keyed by template signature.
+
+This is the *first* tier of the serving cache: the exact-key
+:class:`~repro.serve.cache.BouquetArtifactStore` answers "have I compiled
+exactly this query under exactly these statistics", while the template
+store answers "have I compiled *any instance of this shape*" — a hit
+yields a rebind (:mod:`repro.template.rebind`) instead of a full
+compile.
+
+Entries are keyed by ``(template digest, statistics digest, config
+digest)``: a statistics refresh or a config change must never rebind
+from an artifact compiled under a different world view.  On a refresh
+the serving layer either drops the template tier
+(:meth:`TemplateStore.invalidate_statistics`) or re-registers the
+artifacts it managed to patch through the drift path under the new
+statistics digest.
+
+The store is memory-only by design: the exact-key store already
+persists every compiled artifact to disk, and a template entry is just a
+*pointer* to one representative compiled instance plus its signature —
+after a restart the first compile per template repopulates the tier.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .signature import TemplateSignature
+
+__all__ = ["TemplateEntry", "TemplateStore"]
+
+DEFAULT_TEMPLATE_CAPACITY = 64
+
+
+@dataclass
+class TemplateEntry:
+    """One representative compiled instance of a template."""
+
+    signature: TemplateSignature
+    compiled: "object"  # repro.api.CompiledBouquet
+    statistics_digest: str
+    config_digest: str
+    hits: int = 0
+
+
+class TemplateStore:
+    """Thread-safe LRU of :class:`TemplateEntry` objects."""
+
+    def __init__(self, capacity: int = DEFAULT_TEMPLATE_CAPACITY):
+        if capacity < 1:
+            raise ValueError("TemplateStore capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str, str], TemplateEntry]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(
+        signature_digest: str, statistics_digest: str, config_digest: str
+    ) -> Tuple[str, str, str]:
+        return (signature_digest, statistics_digest, config_digest)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(
+        self,
+        signature: TemplateSignature,
+        statistics_digest: str,
+        config_digest: str,
+    ) -> Optional[TemplateEntry]:
+        key = self._key(signature.digest, statistics_digest, config_digest)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            return entry
+
+    def put(
+        self,
+        signature: TemplateSignature,
+        compiled,
+        statistics_digest: str,
+        config_digest: str,
+    ) -> TemplateEntry:
+        """Register ``compiled`` as the template's representative.
+
+        First writer wins: once a template has a representative, later
+        instances rebind from it, so replacing it would only churn the
+        rebinding dictionaries for no benefit.
+        """
+        key = self._key(signature.digest, statistics_digest, config_digest)
+        entry = TemplateEntry(
+            signature=signature,
+            compiled=compiled,
+            statistics_digest=statistics_digest,
+            config_digest=config_digest,
+        )
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return entry
+
+    def invalidate_statistics(self, current_fingerprint: str) -> int:
+        """Drop every entry *not* compiled under the live statistics
+        fingerprint (same convention as
+        :meth:`repro.serve.cache.BouquetArtifactStore.invalidate_statistics`).
+        Returns the number of entries removed."""
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if entry.statistics_digest != current_fingerprint
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+
+    def entries(self) -> List[TemplateEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "template_entries": len(self._entries),
+                "template_hits": sum(e.hits for e in self._entries.values()),
+            }

@@ -212,6 +212,76 @@ class QueryGenerator:
         return [self.generate(seed, index) for index in range(count)]
 
     # ------------------------------------------------------------------
+    # Template instancing
+    # ------------------------------------------------------------------
+
+    def instantiate(self, seed: int, index: int, binding: int = 0) -> GeneratedQuery:
+        """Binding ``binding`` of the template sampled at ``(seed, index)``.
+
+        Binding 0 is the exemplar — exactly :meth:`generate`'s output.
+        Higher bindings keep the whole structure (tables, joins,
+        predicate columns, operator classes, IN-list lengths, grouping)
+        and re-sample only the predicate *constants* from an independent
+        stream keyed ``f"{seed}:{index}:b{binding}"``, so every binding
+        of one template shares one template signature and the set of
+        bindings is stable under re-dimensioning the campaign.
+        """
+        if binding < 0:
+            raise GeneratorError("instantiate needs binding >= 0")
+        exemplar = self.generate(seed, index)
+        if binding == 0:
+            return exemplar
+        rng = random.Random(f"{seed}:{index}:b{binding}")
+        base = exemplar.query
+        selections = [
+            self._resample_constant(rng, pred) for pred in base.selections
+        ]
+        query = Query(
+            f"W{seed}_{index}b{binding}",
+            self.schema,
+            list(base.tables),
+            selections=selections,
+            joins=list(base.joins),
+            group_by=list(base.group_by),
+            aggregate=base.aggregate,
+        )
+        return GeneratedQuery(query=query, seed=seed, index=index)
+
+    def generate_template(
+        self, seed: int, index: int, bindings: int
+    ) -> List[GeneratedQuery]:
+        """All ``bindings`` instances of template ``(seed, index)``,
+        exemplar (binding 0) first."""
+        if bindings < 1:
+            raise GeneratorError("generate_template needs bindings >= 1")
+        return [
+            self.instantiate(seed, index, binding) for binding in range(bindings)
+        ]
+
+    def _resample_constant(
+        self, rng: random.Random, pred: SelectionPredicate
+    ) -> SelectionPredicate:
+        """A fresh constant for ``pred`` preserving its operator class."""
+        col = self.schema.table(pred.table).column(pred.column)
+        if pred.op in _RANGE_OPS:
+            value = self._range_cutpoint(rng, pred.table, col)
+            return SelectionPredicate(pred.table, pred.column, pred.op, value)
+        values = self._value_pool(pred.table, col)
+        if values.size == 0:
+            return pred
+        if pred.op == "=":
+            return SelectionPredicate(
+                pred.table, pred.column, "=",
+                float(values[rng.randrange(values.size)]),
+            )
+        count = min(len(pred.value), values.size)
+        idx = rng.sample(range(values.size), count)
+        return SelectionPredicate(
+            pred.table, pred.column, "in",
+            tuple(float(values[i]) for i in idx),
+        )
+
+    # ------------------------------------------------------------------
     # Join-tree sampling
     # ------------------------------------------------------------------
 
@@ -269,6 +339,17 @@ class QueryGenerator:
             pred = self._sample_predicate(rng, tname, col)
             if pred is not None:
                 selections.append(pred)
+        # A pick can yield no predicate (no applicable class for the
+        # column under this config); redraw from the rest of the pool so
+        # restrictive configs still meet the predicate budget.  The rng
+        # stream is only consumed when a redraw actually happens, so
+        # configs where every pick succeeds are unaffected.
+        remaining = [entry for entry in pool if entry not in picks]
+        while len(selections) < want and remaining:
+            tname, col = remaining.pop(rng.randrange(len(remaining)))
+            pred = self._sample_predicate(rng, tname, col)
+            if pred is not None:
+                selections.append(pred)
         return selections
 
     def _sample_predicate(
@@ -281,6 +362,10 @@ class QueryGenerator:
         if col.dtype in _RANGE_DTYPES:
             kinds.append("range")
             weights.append(config.range_weight)
+        if sum(weights) <= 0:
+            # No predicate class applies (e.g. a range-only config and a
+            # non-range column): skip the column rather than fail.
+            return None
         kind = rng.choices(kinds, weights=weights, k=1)[0]
         if kind == "range":
             value = self._range_cutpoint(rng, table, col)

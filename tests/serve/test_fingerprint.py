@@ -56,6 +56,35 @@ class TestCanonicalQueryText:
         b = parse_query(SQL2, schema)
         assert canonical_query_text(a) != canonical_query_text(b)
 
+    def test_predicate_order_independent(self, schema):
+        """Regression: the canonical text must sort predicates itself
+        rather than lean on ``Query.predicate_ids`` happening to return
+        them sorted — reordered WHERE clauses share one artifact key."""
+        forward = _query(schema, "fwd")
+        reversed_ = Query(
+            "rev",
+            schema,
+            ["part", "orders", "lineitem"],
+            selections=list(reversed(forward.selections)),
+            joins=list(reversed(forward.joins)),
+        )
+        assert canonical_query_text(forward) == canonical_query_text(reversed_)
+
+    def test_reordered_where_clauses_share_an_artifact_key(
+        self, schema, statistics, small_config
+    ):
+        a = parse_query(SQL, schema)
+        reordered = parse_query(
+            "select * from part, orders, lineitem "
+            "where p_retailprice < 1000 and l_orderkey = o_orderkey "
+            "and p_partkey = l_partkey",
+            schema,
+        )
+        assert (
+            artifact_key(a, statistics, small_config).digest
+            == artifact_key(reordered, statistics, small_config).digest
+        )
+
 
 class TestArtifactKey:
     def test_deterministic(self, schema, statistics, small_config):

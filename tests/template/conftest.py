@@ -1,0 +1,28 @@
+"""Template-cache fixtures: a catalog over the shared session world, a
+small compile config, and a range-only generator whose instances all
+share template signatures with their exemplars."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import BouquetConfig, Catalog
+from repro.bench.template import TEMPLATED_WORKLOAD_CONFIG
+from repro.wlgen import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def catalog(schema, statistics, database):
+    """Module-scoped (unlike the serve fixtures): template tests only
+    read the catalog, and hypothesis @given requires stable fixtures."""
+    return Catalog(schema, statistics=statistics, database=database)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return BouquetConfig(resolution=8)
+
+
+@pytest.fixture(scope="module")
+def templated_generator(schema, database):
+    return QueryGenerator(schema, database, TEMPLATED_WORKLOAD_CONFIG)

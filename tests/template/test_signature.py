@@ -1,0 +1,192 @@
+"""Template signatures: constant/name/order invariance and the
+slot-for-slot rebinding dictionaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+from repro.query import JoinPredicate, Query, SelectionPredicate
+from repro.template import canonical_table_order, template_signature
+
+
+def _spj(schema, name, price=1000.0, quantity=25.0, reorder=False):
+    selections = [
+        SelectionPredicate("part", "p_retailprice", "<", price),
+        SelectionPredicate("lineitem", "l_quantity", ">", quantity),
+    ]
+    joins = [
+        JoinPredicate("part", "p_partkey", "lineitem", "l_partkey"),
+        JoinPredicate("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ]
+    if reorder:
+        selections.reverse()
+        joins.reverse()
+    return Query(
+        name,
+        schema,
+        ["lineitem", "orders", "part"],
+        selections=selections,
+        joins=joins,
+    )
+
+
+class TestSignatureInvariance:
+    def test_constants_do_not_change_the_template(self, schema):
+        a = template_signature(_spj(schema, "a", price=900.0, quantity=10.0))
+        b = template_signature(_spj(schema, "b", price=1400.0, quantity=40.0))
+        assert a.digest == b.digest
+        assert a.text == b.text
+
+    def test_query_name_is_not_structure(self, schema):
+        a = template_signature(_spj(schema, "alpha"))
+        b = template_signature(_spj(schema, "a completely different name"))
+        assert a.digest == b.digest
+
+    def test_predicate_order_is_not_structure(self, schema):
+        a = template_signature(_spj(schema, "fwd", reorder=False))
+        b = template_signature(_spj(schema, "rev", reorder=True))
+        assert a.digest == b.digest
+        assert a.selection_order == b.selection_order
+        assert a.join_order == b.join_order
+
+    def test_operator_changes_the_template(self, schema):
+        a = _spj(schema, "lt")
+        b = Query(
+            "ge",
+            schema,
+            ["lineitem", "orders", "part"],
+            selections=[
+                SelectionPredicate("part", "p_retailprice", ">=", 1000.0),
+                SelectionPredicate("lineitem", "l_quantity", ">", 25.0),
+            ],
+            joins=list(a.joins),
+        )
+        assert template_signature(a).digest != template_signature(b).digest
+
+    def test_in_list_length_changes_the_template(self, schema):
+        def q(name, values):
+            return Query(
+                name,
+                schema,
+                ["part"],
+                selections=[SelectionPredicate("part", "p_size", "in", values)],
+            )
+
+        two = template_signature(q("two", (1.0, 2.0)))
+        four = template_signature(q("four", (1.0, 2.0, 3.0, 4.0)))
+        other_two = template_signature(q("other", (7.0, 9.0)))
+        assert two.digest != four.digest
+        assert two.digest == other_two.digest
+
+    def test_different_join_shape_differs(self, schema):
+        chain = _spj(schema, "chain")
+        two_table = Query(
+            "pair",
+            schema,
+            ["lineitem", "orders"],
+            selections=[SelectionPredicate("lineitem", "l_quantity", ">", 25.0)],
+            joins=[JoinPredicate("lineitem", "l_orderkey", "orders", "o_orderkey")],
+        )
+        assert (
+            template_signature(chain).digest != template_signature(two_table).digest
+        )
+
+
+def _twin_world():
+    """Two structurally identical fact tables over one dimension."""
+    cols = [
+        Column("k", "int"),
+        Column("f", "int", distinct=100),
+        Column("v", "float"),
+    ]
+    alpha = Table("alpha", cols, 1000, primary_key="k")
+    beta = Table("beta", cols, 1000, primary_key="k")
+    dim = Table(
+        "dim", [Column("k", "int"), Column("x", "float")], 100, primary_key="k"
+    )
+    schema = Schema(
+        "twins",
+        [alpha, beta, dim],
+        foreign_keys=[
+            ForeignKey("alpha", "f", "dim", "k"),
+            ForeignKey("beta", "f", "dim", "k"),
+        ],
+    )
+
+    def q(name, fact):
+        return Query(
+            name,
+            schema,
+            [fact, "dim"],
+            selections=[SelectionPredicate(fact, "v", "<", 3.0)],
+            joins=[JoinPredicate(fact, "f", "dim", "k")],
+        )
+
+    return q("on_alpha", "alpha"), q("on_beta", "beta")
+
+
+class TestRenamingInvariance:
+    def test_twin_relations_share_a_template(self):
+        qa, qb = _twin_world()
+        sa, sb = template_signature(qa), template_signature(qb)
+        assert sa.digest == sb.digest
+        assert sa.table_map_to(sb) == {"alpha": "beta", "dim": "dim"}
+
+    def test_twin_canonical_order_agrees_on_slots(self):
+        qa, qb = _twin_world()
+        order_a = canonical_table_order(qa)
+        order_b = canonical_table_order(qb)
+        assert order_a.index("dim") == order_b.index("dim")
+
+
+class TestRebindingDictionaries:
+    def test_pid_map_pairs_slots(self, schema):
+        a = template_signature(_spj(schema, "a", price=900.0))
+        b = template_signature(_spj(schema, "b", price=1400.0))
+        pid_map = a.pid_map_to(b)
+        assert set(pid_map.keys()) == set(a.predicate_order)
+        # The price predicate of one instance maps onto the price
+        # predicate of the other, never onto the quantity one.
+        for old, new in pid_map.items():
+            if "p_retailprice" in old:
+                assert "p_retailprice" in new
+            if "l_quantity" in old:
+                assert "l_quantity" in new
+            if old.startswith("join:"):
+                assert old == new  # joins carry no constants
+
+    def test_maps_refuse_cross_template_use(self, schema):
+        a = template_signature(_spj(schema, "a"))
+        other = template_signature(
+            Query(
+                "single",
+                schema,
+                ["part"],
+                selections=[SelectionPredicate("part", "p_retailprice", "<", 10.0)],
+            )
+        )
+        with pytest.raises(ValueError):
+            a.pid_map_to(other)
+        with pytest.raises(ValueError):
+            a.table_map_to(other)
+
+
+class TestDimensionAwareSignature:
+    def test_catalog_folds_dimensions_into_the_key(
+        self, schema, statistics
+    ):
+        bare = template_signature(_spj(schema, "bare"))
+        dimensioned = template_signature(_spj(schema, "dim"), schema, statistics)
+        assert bare.digest != dimensioned.digest
+        assert dimensioned.dimension_pids
+        assert "dims=" in dimensioned.text
+
+    def test_instances_share_dimensioned_signature(self, schema, statistics):
+        a = template_signature(
+            _spj(schema, "a", price=900.0, quantity=10.0), schema, statistics
+        )
+        b = template_signature(
+            _spj(schema, "b", price=1400.0, quantity=40.0), schema, statistics
+        )
+        assert a.digest == b.digest

@@ -131,3 +131,61 @@ class TestConfigValidation:
         for index in range(20):
             query = generator.generate(3, index).query
             assert 2 <= len(query.joins) <= 3
+
+
+class TestTemplateInstancing:
+    @pytest.fixture(scope="class")
+    def templated(self, schema, database):
+        from repro.bench.template import TEMPLATED_WORKLOAD_CONFIG
+
+        return QueryGenerator(schema, database, TEMPLATED_WORKLOAD_CONFIG)
+
+    def test_binding_zero_is_the_exemplar(self, templated):
+        a = templated.generate(11, 3).query
+        b = templated.instantiate(11, 3, 0).query
+        assert a.name == b.name
+        assert a.fingerprint == b.fingerprint
+
+    @given(index=st.integers(min_value=0, max_value=60),
+           binding=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_bindings_preserve_structure(self, templated, index, binding):
+        exemplar = templated.instantiate(11, index, 0).query
+        instance = templated.instantiate(11, index, binding).query
+        assert instance.tables == exemplar.tables
+        assert instance.joins == exemplar.joins
+        assert instance.group_by == exemplar.group_by
+        assert instance.aggregate == exemplar.aggregate
+        assert [(s.table, s.column, s.op) for s in instance.selections] == [
+            (s.table, s.column, s.op) for s in exemplar.selections
+        ]
+
+    @given(index=st.integers(min_value=0, max_value=60),
+           binding=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_bindings_share_a_template_signature(self, templated, index, binding):
+        from repro.template import template_signature
+
+        exemplar = templated.instantiate(11, index, 0).query
+        instance = templated.instantiate(11, index, binding).query
+        assert (
+            template_signature(exemplar).digest
+            == template_signature(instance).digest
+        )
+
+    def test_instancing_is_deterministic(self, templated):
+        a = templated.instantiate(11, 2, 5).query
+        b = templated.instantiate(11, 2, 5).query
+        assert a.fingerprint == b.fingerprint
+
+    def test_generate_template_returns_exemplar_first(self, templated):
+        items = templated.generate_template(11, 2, 4)
+        assert len(items) == 4
+        assert items[0].query.name == "W11_2"
+        assert items[1].query.name == "W11_2b1"
+
+    def test_negative_binding_rejected(self, templated):
+        with pytest.raises(GeneratorError):
+            templated.instantiate(11, 2, -1)
+        with pytest.raises(GeneratorError):
+            templated.generate_template(11, 2, 0)
