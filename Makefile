@@ -8,7 +8,9 @@
 #   make serve-smoke  compile-cache the canned workload twice; fail unless
 #                     the warm pass is all cache hits and >= 5x faster
 #   make check        lint + serve-smoke (the gated fast checks)
-#   make ci           lint + the tier-1 pytest suite, in one gate
+#   make ci           lint + every smoke gate (incl. both fuzz schemas
+#                     and the parallel substrate) + the tier-1 pytest
+#                     suite, in one gate
 #   make bench-sched  benchmark the contour-crossing schedulers; writes
 #                     BENCH_sched.json and fails on any acceptance miss
 #   make bench-sweep  race the cohort sweep engine against the reference
@@ -30,6 +32,14 @@
 #                     full pipeline, zero crashes / bound violations required
 #   make fuzz-smoke-tpcds  same fuzzing gate over the TPC-DS snowflake
 #                     schema (6 queries; exercises multi-FK fact tables)
+#   make bench-par    race the persistent worker substrate against the
+#                     per-call pools it replaced on a windowed 1000-query
+#                     TPC-DS campaign; writes BENCH_par.json and fails
+#                     under 2x speedup, on any result divergence across
+#                     worker counts, or on a leaked shm segment
+#   make par-smoke    fast substrate gate: small windowed campaign plus
+#                     the shm residue phase; bit-identity and zero-leak
+#                     gates enforced, speedup reported but not gated
 #   make bench-template  benchmark the cross-query template cache: rebind
 #                     vs. fresh compile on a templated wlgen workload;
 #                     writes BENCH_template.json and fails under 5x speedup,
@@ -48,7 +58,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench-serve serve-load-smoke fuzz-smoke fuzz-smoke-tpcds bench-template template-smoke bench-workload bench experiments examples all clean
+.PHONY: help install test lint serve-smoke check ci bench-sched bench-sweep sweep-smoke bench-compile compile-smoke bench-drift drift-smoke bench-serve serve-load-smoke fuzz-smoke fuzz-smoke-tpcds bench-par par-smoke bench-template template-smoke bench-workload bench experiments examples all clean
 
 help:
 	@sed -n 's/^#   //p' Makefile
@@ -69,7 +79,7 @@ serve-smoke:
 
 check: lint serve-smoke
 
-ci: lint sweep-smoke compile-smoke drift-smoke serve-load-smoke fuzz-smoke template-smoke
+ci: lint sweep-smoke compile-smoke drift-smoke serve-load-smoke fuzz-smoke fuzz-smoke-tpcds template-smoke par-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench-sched:
@@ -119,6 +129,15 @@ fuzz-smoke:
 fuzz-smoke-tpcds:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.workload --count 6 \
 		--benchmark tpcds
+
+bench-par:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.par --out BENCH_par.json
+
+# Fast pass of the parallel-substrate bench (bit-identity across worker
+# counts, shm residue equality, zero-leak gates; no speedup floor — the
+# tiny campaign cannot amortize anything meaningfully).
+par-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.par --smoke
 
 bench-template:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.template --out BENCH_template.json

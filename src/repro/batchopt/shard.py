@@ -1,12 +1,13 @@
 """Process-pool sharding of slab optimization (§4.2's parallel POSP).
 
-Mirrors the hardened fork/spawn pool of
-:func:`repro.ess.diagram._parallel_optimize`, but each worker runs the
-**batch** kernel over its whole shard instead of one scalar optimize per
-location — the parent pays only plan unpickling and registration.
-Chunk results are streamed in submission order, so the parent registers
-plans in the same (row-major) order a serial slab sweep would and plan
-ids stay deterministic.
+Runs on the persistent :mod:`repro.par` worker pool, but each worker
+runs the **batch** kernel over its whole shard instead of one scalar
+optimize per location — the parent pays only plan unpickling and
+registration.  The ``(optimizer, space)`` payload ships to each worker
+at most once per content digest, and shard results are reassembled in
+submission order, so the parent registers plans in the same (row-major)
+order a serial slab sweep would and plan ids stay deterministic at any
+worker count.
 """
 
 from __future__ import annotations
@@ -20,22 +21,11 @@ from ..optimizer.plans import PlanNode
 
 __all__ = ["parallel_optimize_batch"]
 
-_WORKER_STATE: dict = {}
 
-
-def _init_batch_worker(optimizer: Optimizer, space: SelectivitySpace):
-    # Workers never trace (see _parallel_optimize): fork would interleave
-    # sink writes, spawn already degraded the tracer while pickling.
-    from ..obs.tracer import NULL_TRACER
-
-    optimizer.tracer = NULL_TRACER
-    _WORKER_STATE["optimizer"] = optimizer
-    _WORKER_STATE["space"] = space
-
-
-def _optimize_slab(locations: List[Location]):
-    optimizer: Optimizer = _WORKER_STATE["optimizer"]
-    space: SelectivitySpace = _WORKER_STATE["space"]
+def _optimize_slab(ctx, payload, locations: List[Location]):
+    # repro.par task: payload = (optimizer, space); workers never trace
+    # (the payload's tracer degraded to the null tracer while pickling).
+    optimizer, space = payload
     assignments = [space.assignment_at(location) for location in locations]
     results = optimizer.optimize_batch(space.query, assignments)
     return [
@@ -53,30 +43,15 @@ def parallel_optimize_batch(
     """Batch-optimize ``locations`` across ``workers`` processes.
 
     Yields ``(location, plan, cost, rows)`` in the input location order.
-    ``fork`` is preferred; the fallback is an explicit ``spawn`` context
-    with the initializer arguments verified to survive a pickle round
-    trip before any worker starts.
+    Start-method resolution (fork-preferred, verified-spawn fallback)
+    and payload pickle hardening live in :mod:`repro.par`.
     """
-    import multiprocessing as mp
-    import pickle
+    from ..par import ParError, get_pool
 
     chunk_size = max(1, len(locations) // workers + (len(locations) % workers > 0))
     chunks = [
         locations[i : i + chunk_size] for i in range(0, len(locations), chunk_size)
     ]
-    if "fork" in mp.get_all_start_methods():
-        ctx = mp.get_context("fork")
-    else:
-        ctx = mp.get_context("spawn")
-        try:
-            restored = pickle.loads(pickle.dumps((optimizer, space)))
-        except Exception as exc:
-            raise EssError(
-                "parallel batch compilation needs a picklable Optimizer and "
-                f"SelectivitySpace under the spawn start method: {exc}"
-            ) from exc
-        if len(restored) != 2:
-            raise EssError("initargs pickle round trip lost arguments")
     tracer = optimizer.tracer
     if tracer.enabled:
         tracer.event(
@@ -85,8 +60,10 @@ def parallel_optimize_batch(
             slabs=len(chunks),
             locations=len(locations),
         )
-    with ctx.Pool(
-        processes=workers, initializer=_init_batch_worker, initargs=(optimizer, space)
-    ) as pool:
-        for chunk_result in pool.imap(_optimize_slab, chunks):
-            yield from chunk_result
+    pool = get_pool(workers, tracer=tracer)
+    try:
+        results = pool.run(_optimize_slab, (optimizer, space), chunks, tracer=tracer)
+    except ParError as exc:
+        raise EssError(f"parallel batch compilation failed: {exc}") from exc
+    for chunk_result in results:
+        yield from chunk_result

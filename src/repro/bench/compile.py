@@ -63,6 +63,7 @@ class CompileBenchReport:
     band_locations: int
     band_mismatches: int
     min_speedup: float
+    min_band_speedup: float = 0.0
     slabs: int = 0
     batched_locations: int = 0
     frontier_plans: float = 0.0
@@ -85,6 +86,10 @@ class CompileBenchReport:
         return self.speedup >= self.min_speedup
 
     @property
+    def band_fast_enough(self) -> bool:
+        return self.band_speedup >= self.min_band_speedup
+
+    @property
     def exact(self) -> bool:
         return (
             self.plan_mismatches == 0
@@ -94,7 +99,7 @@ class CompileBenchReport:
 
     @property
     def ok(self) -> bool:
-        return self.fast_enough and self.exact
+        return self.fast_enough and self.band_fast_enough and self.exact
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -110,6 +115,7 @@ class CompileBenchReport:
             "band_reference_seconds": self.band_reference_seconds,
             "band_batch_seconds": self.band_batch_seconds,
             "band_speedup": self.band_speedup,
+            "min_band_speedup": self.min_band_speedup,
             "band_locations": self.band_locations,
             "band_mismatches": self.band_mismatches,
             "slabs": self.slabs,
@@ -130,10 +136,11 @@ class CompileBenchReport:
             f"{self.cost_mismatches} cost mismatches (need 0)"
             + ("" if self.plan_mismatches == self.cost_mismatches == 0 else "  FAIL"),
             f"  contour band      : {self.band_reference_seconds:.3f} s ref, "
-            f"{self.band_batch_seconds:.3f} s batch ({self.band_speedup:.1f}x) "
+            f"{self.band_batch_seconds:.3f} s batch ({self.band_speedup:.1f}x, "
+            f"need >= {self.min_band_speedup:g}x) "
             f"over {self.band_locations} band locations, "
             f"{self.band_mismatches} mismatches"
-            + ("" if self.band_mismatches == 0 else "  FAIL"),
+            + ("" if self.band_mismatches == 0 and self.band_fast_enough else "  FAIL"),
         ]
         if self.slabs:
             lines.append(
@@ -181,6 +188,7 @@ def run_compile_bench(
     seed: int = 7,
     ratio: float = 2.0,
     min_speedup: float = 4.0,
+    min_band_speedup: float = 4.0,
 ) -> CompileBenchReport:
     """Build the lab query's ESS and race the two compile engines."""
     schema = tpch_schema(scale)
@@ -252,6 +260,7 @@ def run_compile_bench(
         band_locations=len(band_ref.optimized),
         band_mismatches=band_bad,
         min_speedup=min_speedup,
+        min_band_speedup=min_band_speedup,
         slabs=int(counters.get("batchopt.slabs", 0)),
         batched_locations=int(counters.get("optimizer.batched_locations", 0)),
         frontier_plans=counters.get("batchopt.frontier_plans", 0.0),
@@ -273,6 +282,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--ratio", type=float, default=2.0)
     parser.add_argument("--min-speedup", type=float, default=4.0)
     parser.add_argument(
+        "--min-band-speedup", type=float, default=None,
+        help="contour-band floor (defaults to --min-speedup)",
+    )
+    parser.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the report as JSON (e.g. BENCH_compile.json)",
     )
@@ -285,6 +298,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         ratio=args.ratio,
         min_speedup=args.min_speedup,
+        min_band_speedup=(
+            args.min_band_speedup
+            if args.min_band_speedup is not None
+            else args.min_speedup
+        ),
     )
     print(report.describe())
     if args.out:

@@ -10,11 +10,15 @@ once with the per-location reference driver
   least ``--min-speedup`` (default 5x) on the full grid;
 * **exactness** — on a deterministic location sample the engine's totals
   must match fresh reference runs within ``--tolerance`` relative error
-  (default 1e-9; observed differences are float rounding, ~1e-16).
+  (default 1e-9; observed differences are float rounding, ~1e-16);
+* **memoization** — after invalidating the totals memo (the path a
+  statistics refresh takes) a re-sweep must replay cohort decision
+  paths through the TraceTrie prefix memo with a nonzero hit rate and
+  reproduce the cold field bit-for-bit.
 
 A warm re-sweep is also timed to show the totals-memo path, and the
-engine's ``sweep.field`` span telemetry (cohorts, splits, residue,
-memo hit rate) is folded into the report.
+engine's ``sweep.field`` span telemetry (cohorts, splits, residue)
+is folded into the report.
 
 ``make bench-sweep`` runs this and writes ``BENCH_sweep.json``; the
 process exits non-zero when either criterion fails.
@@ -50,6 +54,9 @@ class SweepBenchReport:
     reference_seconds: float
     sweep_seconds: float
     warm_seconds: float
+    trie_warm_seconds: float
+    memo_hit_rate: float
+    trie_warm_identical: bool
     sample_size: int
     max_rel_error: float
     min_speedup: float
@@ -71,8 +78,12 @@ class SweepBenchReport:
         return self.max_rel_error <= self.tolerance
 
     @property
+    def memo_warm(self) -> bool:
+        return self.memo_hit_rate > 0.0 and self.trie_warm_identical
+
+    @property
     def ok(self) -> bool:
-        return self.fast_enough and self.exact_enough
+        return self.fast_enough and self.exact_enough and self.memo_warm
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -83,6 +94,9 @@ class SweepBenchReport:
             "reference_seconds": self.reference_seconds,
             "sweep_seconds": self.sweep_seconds,
             "warm_seconds": self.warm_seconds,
+            "trie_warm_seconds": self.trie_warm_seconds,
+            "memo_hit_rate": self.memo_hit_rate,
+            "trie_warm_identical": self.trie_warm_identical,
             "speedup": self.speedup,
             "min_speedup": self.min_speedup,
             "sample_size": self.sample_size,
@@ -101,6 +115,10 @@ class SweepBenchReport:
             f"({self.speedup:.1f}x, need >= {self.min_speedup:g}x)"
             + ("" if self.fast_enough else "  FAIL"),
             f"  warm re-sweep  : {self.warm_seconds:8.5f} s",
+            f"  trie-warm sweep: {self.trie_warm_seconds:8.5f} s "
+            f"(memo hit rate {self.memo_hit_rate:.3f}, need > 0; "
+            f"field {'bit-identical' if self.trie_warm_identical else 'DIVERGED'})"
+            + ("" if self.memo_warm else "  FAIL"),
             f"  field equality : max rel err {self.max_rel_error:.3e} "
             f"on {self.sample_size} sampled locations "
             f"(need <= {self.tolerance:g})"
@@ -126,12 +144,19 @@ def _sweep_telemetry(tracer: Tracer) -> Dict[str, float]:
         "cohorts",
         "splits",
         "residue",
-        "memo_hit_rate",
         "batched_costings",
     )
     return {
         key: float(attrs[key]) for key in keep if attrs.get(key) is not None
     }
+
+
+def _memo_hit_rate(tracer: Tracer) -> float:
+    """Hit rate after the last sweep — i.e. including the trie-warm pass."""
+    spans = [s for s in tracer.sink.spans() if s.get("name") == "sweep.field"]
+    if not spans:
+        return 0.0
+    return float(spans[-1].get("attrs", {}).get("memo_hit_rate") or 0.0)
 
 
 def run_sweep_bench(
@@ -175,6 +200,15 @@ def run_sweep_bench(
     engine.totals(list(space.locations()))  # warm path: totals memo
     t4 = time.perf_counter()
 
+    # Trie-warm pass: drop the totals memo but keep the TraceTrie (this
+    # is exactly what a statistics refresh does via cache.invalidate()),
+    # then re-sweep — cohorts replay their decision prefixes through the
+    # memo instead of re-deriving them, and the field must come back
+    # bit-identical.
+    warm_field = engine.cost_field(refresh=True)
+    t5 = time.perf_counter()
+    trie_warm_identical = bool(np.array_equal(warm_field, field))
+
     # Exactness on a deterministic sample, compared against the dict the
     # reference loop produced for the same locations.
     locations = sample_locations(space, sample, seed=0)
@@ -191,6 +225,9 @@ def run_sweep_bench(
         reference_seconds=t1 - t0,
         sweep_seconds=t3 - t2,
         warm_seconds=t4 - t3,
+        trie_warm_seconds=t5 - t4,
+        memo_hit_rate=_memo_hit_rate(tracer),
+        trie_warm_identical=trie_warm_identical,
         sample_size=len(locations),
         max_rel_error=float(rel.max()) if len(locations) else 0.0,
         min_speedup=min_speedup,

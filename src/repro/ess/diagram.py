@@ -57,6 +57,37 @@ class PlanCostCache:
         with self._lock:
             return len(self._arrays)
 
+    def __getstate__(self) -> dict:
+        # The lock is rebuilt, not pickled (mirroring PlanRegistry) —
+        # this is what lets a bouquet payload ship through repro.par's
+        # worker queues under any start method.
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_arrays"] = OrderedDict(self._arrays)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def snapshot(self) -> Dict[int, np.ndarray]:
+        """The currently materialized cost arrays, keyed by plan id."""
+        with self._lock:
+            return dict(self._arrays)
+
+    def seed(self, arrays: Dict[int, np.ndarray]) -> None:
+        """Pre-populate cost arrays (e.g. shared-memory planes).
+
+        Existing entries win: a seeded plane never displaces an array a
+        racing builder already installed.
+        """
+        for plan_id, array in arrays.items():
+            if array.shape != self.space.shape:
+                raise EssError("seeded cost array does not match the grid shape")
+            with self._lock:
+                self._arrays.setdefault(plan_id, array)
+
     def invalidate(self, plan_id: Optional[int] = None) -> None:
         """Drop the cached array for one plan (or all of them)."""
         with self._lock:
@@ -306,23 +337,12 @@ class PlanDiagram:
 # Parallel POSP generation (§4.2)
 # ---------------------------------------------------------------------------
 
-_WORKER_STATE: dict = {}
 
-
-def _init_posp_worker(optimizer: Optimizer, space: SelectivitySpace):
-    # Workers never trace: with fork they would inherit the parent's sink
-    # (and interleave writes into its file); with spawn the tracer already
-    # degraded to the null tracer during pickling.
-    from ..obs.tracer import NULL_TRACER
-
-    optimizer.tracer = NULL_TRACER
-    _WORKER_STATE["optimizer"] = optimizer
-    _WORKER_STATE["space"] = space
-
-
-def _optimize_chunk(locations: List[Location]):
-    optimizer = _WORKER_STATE["optimizer"]
-    space = _WORKER_STATE["space"]
+def _optimize_chunk(ctx, payload, locations: List[Location]):
+    # repro.par task: payload = (optimizer, space).  Workers never trace —
+    # the tracer embedded in the payload degraded to the null tracer
+    # while pickling (Tracer.__reduce__).
+    optimizer, space = payload
     results = []
     for location in locations:
         assignment = space.assignment_at(location)
@@ -334,36 +354,21 @@ def _optimize_chunk(locations: List[Location]):
 def _parallel_optimize(optimizer: Optimizer, space: SelectivitySpace, workers: int):
     """Optimize every grid location across ``workers`` processes.
 
-    ``fork`` is preferred (workers inherit the optimizer for free); where
-    it is unavailable the fallback is an *explicit* ``spawn`` context —
-    never the platform default — and the initializer arguments are
-    verified to survive a pickle round trip before any worker starts, so
-    an unpicklable optimizer fails fast in the parent with a clear error
-    instead of crashing inside the pool machinery.  Chunk results are
-    streamed with ``imap``: a worker failure surfaces its traceback at
-    the first affected chunk rather than stalling a final ``map`` barrier.
+    Runs on the persistent :mod:`repro.par` pool: the start-method
+    resolution (fork-preferred, verified-spawn fallback) and the payload
+    pickle hardening live there, the ``(optimizer, space)`` payload is
+    shipped to each worker at most once per content digest, and chunk
+    results are reassembled in submission order so plans register in
+    exactly the serial row-major order — plan ids are identical at any
+    worker count.
     """
-    import multiprocessing as mp
-    import pickle
+    from ..par import ParError, get_pool
 
     locations = list(space.locations())
     chunk_size = max(1, len(locations) // (workers * 4))
     chunks = [
         locations[i : i + chunk_size] for i in range(0, len(locations), chunk_size)
     ]
-    if "fork" in mp.get_all_start_methods():
-        ctx = mp.get_context("fork")
-    else:
-        ctx = mp.get_context("spawn")
-        try:
-            restored = pickle.loads(pickle.dumps((optimizer, space)))
-        except Exception as exc:
-            raise EssError(
-                "parallel POSP generation needs a picklable Optimizer and "
-                f"SelectivitySpace under the spawn start method: {exc}"
-            ) from exc
-        if len(restored) != 2:
-            raise EssError("initargs pickle round trip lost arguments")
     tracer = optimizer.tracer
     if tracer.enabled:
         tracer.event(
@@ -372,11 +377,15 @@ def _parallel_optimize(optimizer: Optimizer, space: SelectivitySpace, workers: i
             chunks=len(chunks),
             locations=len(locations),
         )
-    with ctx.Pool(
-        processes=workers, initializer=_init_posp_worker, initargs=(optimizer, space)
-    ) as pool:
-        for chunk_result in pool.imap(_optimize_chunk, chunks):
-            yield from chunk_result
+    pool = get_pool(workers, tracer=tracer)
+    try:
+        results = pool.run(
+            _optimize_chunk, (optimizer, space), chunks, tracer=tracer
+        )
+    except ParError as exc:
+        raise EssError(f"parallel POSP generation failed: {exc}") from exc
+    for chunk_result in results:
+        yield from chunk_result
 
 
 def coarse_subgrid(space: SelectivitySpace, per_dim: int = 4) -> List[Location]:

@@ -27,10 +27,19 @@ from .space import Location, SelectivitySpace
 COMPILE_ENGINES = ("batch", "reference")
 
 #: Slabs smaller than this run through the scalar optimizer even under
-#: the batch engine: a DP run over a 2-location corner pair pays more in
+#: the batch engine: a DP run over a couple of locations pays more in
 #: array setup than it saves, and both dispatches produce byte-identical
-#: plans and costs, so the threshold is purely a latency choice.
+#: plans and costs, so the threshold is purely a latency choice.  The
+#: contour-band exploration merges a whole subdivision level into one
+#: slab, so its slabs are large and it uses the lower
+#: :data:`MIN_BAND_SLAB` instead.
 MIN_BATCH_SLAB = 8
+
+#: Batch threshold for contour-band slabs.  Band slabs aggregate every
+#: corner probe (or every leaf interior) of a subdivision level, so even
+#: small ones amortize the DP's array setup — only a lone straggler
+#: location stays scalar.
+MIN_BAND_SLAB = 2
 
 
 def resolve_engine(optimizer, engine: str) -> str:
@@ -87,15 +96,18 @@ def contour_focused_posp(
     min_box_edge:
         Boxes whose longest edge is at most this are optimized exhaustively.
     engine:
-        ``"batch"`` (default) optimizes each recursion step as a slab
-        through :meth:`Optimizer.optimize_batch` — leaf boxes (and any
-        slab of at least :data:`MIN_BATCH_SLAB` locations) become single
-        DPsize runs carrying a cost axis, while tiny corner-pair probes
-        stay scalar.  The slab visit order replicates the scalar
-        recursion exactly, so
-        ``"reference"`` (one scalar optimize per location, the paper's
-        literal procedure) produces a byte-identical ``optimized`` map,
-        including plan ids.
+        ``"batch"`` (default) optimizes each subdivision level as slabs
+        through :meth:`Optimizer.optimize_batch`.  The hypercube tree is
+        walked breadth-first, level-synchronously: all principal-diagonal
+        corner probes of a level form one slab, then — after pruning and
+        splitting — all leaf interiors of the level form another, so the
+        DP's per-slab setup is amortized over the whole band instead of
+        being paid per two-corner probe (slabs of at least
+        :data:`MIN_BAND_SLAB` locations batch; a lone straggler stays
+        scalar).  Both engines traverse identically and register plans
+        in the same within-slab location order, so ``"reference"`` (one
+        scalar optimize per location, the paper's literal procedure)
+        produces a byte-identical ``optimized`` map, including plan ids.
     """
     if not contour_costs:
         raise EssError("contour_focused_posp needs at least one contour cost")
@@ -124,7 +136,7 @@ def contour_focused_posp(
                 todo.append(location)
         if not todo:
             return
-        if engine == "batch" and len(todo) >= MIN_BATCH_SLAB:
+        if engine == "batch" and len(todo) >= MIN_BAND_SLAB:
             assignments = [space.assignment_at(location) for location in todo]
             results = optimizer.optimize_batch(space.query, assignments)
             for location, result in zip(todo, results):
@@ -143,35 +155,56 @@ def contour_focused_posp(
         i = np.searchsorted(sorted_costs, clo)
         return i < len(sorted_costs) and sorted_costs[i] <= chi
 
-    def recurse(lo: Location, hi: Location):
+    def explore(root_lo: Location, root_hi: Location) -> None:
+        """Level-synchronous BFS over the subdivision tree.
+
+        Prune/leaf/split decisions depend only on each box's own corner
+        costs and geometry — never on traversal order — so merging a
+        level's probes (and its leaf interiors) into shared slabs visits
+        exactly the boxes the depth-first recursion would, with the same
+        prune count, while handing the batch kernel band-sized slabs.
+        """
         nonlocal pruned
-        # Principal-diagonal corners bound the PIC over the box (PCM);
-        # both corners of one box form a two-location slab.
-        optimize_slab((lo, hi))
-        _, cost_lo = optimized[lo]
-        _, cost_hi = optimized[hi]
-        # PCM says cost_lo <= cost_hi, but tie-breaking among equal-cost
-        # plans can invert the pair by a whisker; an inverted interval
-        # would silently prune the box and lose its contour band, so the
-        # bounds are ordered explicitly before the containment test.
-        if not any_contour_in(min(cost_lo, cost_hi), max(cost_lo, cost_hi)):
-            pruned += 1
-            return
-        edges = [h - l for l, h in zip(lo, hi)]
-        if max(edges) <= min_box_edge:
+        frontier: List[Tuple[Location, Location]] = [(root_lo, root_hi)]
+        while frontier:
+            # Principal-diagonal corners bound the PIC over each box
+            # (PCM); the whole level's corners form one slab.
             optimize_slab(
-                itertools.product(*(range(l, h + 1) for l, h in zip(lo, hi)))
+                corner for box in frontier for corner in box
             )
-            return
-        # Split along the longest edge.
-        axis = max(range(len(edges)), key=lambda d: edges[d])
-        mid = (lo[axis] + hi[axis]) // 2
-        lo_a, hi_a = list(lo), list(hi)
-        hi_a[axis] = mid
-        recurse(tuple(lo_a), tuple(hi_a))
-        lo_b, hi_b = list(lo), list(hi)
-        lo_b[axis] = mid  # overlap at the midplane keeps the band contiguous
-        recurse(tuple(lo_b), tuple(hi_b))
+            next_frontier: List[Tuple[Location, Location]] = []
+            leaves: List[Location] = []
+            for lo, hi in frontier:
+                _, cost_lo = optimized[lo]
+                _, cost_hi = optimized[hi]
+                # PCM says cost_lo <= cost_hi, but tie-breaking among
+                # equal-cost plans can invert the pair by a whisker; an
+                # inverted interval would silently prune the box and lose
+                # its contour band, so the bounds are ordered explicitly
+                # before the containment test.
+                if not any_contour_in(min(cost_lo, cost_hi), max(cost_lo, cost_hi)):
+                    pruned += 1
+                    continue
+                edges = [h - l for l, h in zip(lo, hi)]
+                if max(edges) <= min_box_edge:
+                    leaves.extend(
+                        itertools.product(
+                            *(range(l, h + 1) for l, h in zip(lo, hi))
+                        )
+                    )
+                    continue
+                # Split along the longest edge.
+                axis = max(range(len(edges)), key=lambda d: edges[d])
+                mid = (lo[axis] + hi[axis]) // 2
+                lo_a, hi_a = list(lo), list(hi)
+                hi_a[axis] = mid
+                lo_b, hi_b = list(lo), list(hi)
+                lo_b[axis] = mid  # midplane overlap keeps the band contiguous
+                next_frontier.append((tuple(lo_a), tuple(hi_a)))
+                next_frontier.append((tuple(lo_b), tuple(hi_b)))
+            # All leaf interiors of the level form the second slab.
+            optimize_slab(leaves)
+            frontier = next_frontier
 
     with optimizer.tracer.span(
         "ess.contour_posp",
@@ -179,7 +212,7 @@ def contour_focused_posp(
         contours=len(sorted_costs),
         engine=engine,
     ) as span:
-        recurse(space.origin, space.corner)
+        explore(space.origin, space.corner)
         span.set(
             optimizer_calls=calls,
             pruned_boxes=pruned,

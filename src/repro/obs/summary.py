@@ -239,6 +239,26 @@ class ServingSummary:
         return self._c("serve.template.hits") / lookups
 
     @property
+    def pool_runs(self) -> float:
+        """Fan-outs dispatched through the repro.par worker pool."""
+        return self._c("par.pool.runs")
+
+    @property
+    def pool_reuse_rate(self) -> float:
+        """Fraction of pool fan-outs that reused already-warm workers."""
+        if not self.pool_runs:
+            return 0.0
+        return self._c("par.pool.reuse") / self.pool_runs
+
+    @property
+    def payload_cache_hit_rate(self) -> float:
+        """Per-worker payload ships avoided by the content-digest cache."""
+        total = self._c("par.payload.ships") + self._c("par.payload.cache_hits")
+        if not total:
+            return 0.0
+        return self._c("par.payload.cache_hits") / total
+
+    @property
     def rebind_latency(self) -> float:
         """Mean wall seconds per template rebind attempt."""
         if not self.rebind_spans:
@@ -318,6 +338,25 @@ class ServingSummary:
                     title="admission / shedding",
                 )
             )
+        if self.pool_runs:
+            par_rows = [
+                ["pool starts", self._c("par.pool.starts")],
+                ["pool runs", self.pool_runs],
+                ["pool reuse rate", f"{self.pool_reuse_rate:.0%}"],
+                ["tasks", self._c("par.tasks")],
+                ["payload ships", self._c("par.payload.ships")],
+                ["payload cache hits", self._c("par.payload.cache_hits")],
+                ["payload cache hit rate", f"{self.payload_cache_hit_rate:.0%}"],
+                ["shm planes exported", self._c("par.shm.exports")],
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["parallel", "value"],
+                    par_rows,
+                    title="parallel substrate",
+                )
+            )
         if self.compile_spans or self.execute_spans:
             lines.append("")
             lines.append(
@@ -352,7 +391,7 @@ def summarize_serving(records: Iterable[Dict[str, Any]]) -> ServingSummary:
         kind = record.get("type")
         if kind == "counter":
             name = record["name"]
-            if name.startswith(("serve.", "optimizer.", "batchopt.")):
+            if name.startswith(("serve.", "optimizer.", "batchopt.", "par.")):
                 summary.counters[name] = record["value"]
         elif kind == "span_end":
             name = record.get("name")

@@ -1,0 +1,421 @@
+"""Persistent worker pool with digest-keyed payload caching.
+
+This replaces the four per-call ``ctx.Pool`` sites (parallel POSP, slab
+batch compile, sweep residue, wlgen campaigns) with one substrate:
+
+* **Persistent + reusable** — ``get_pool(workers)`` hands back a live
+  pool keyed by ``(start method, worker count)``; workers are started
+  once and survive across calls, so repeated shards pay no
+  fork/spawn/interpreter-boot tax.  ``shutdown_pools()`` (also wired to
+  ``atexit``) tears everything down.
+* **Fork-preferred, verified-spawn fallback** — the start method
+  resolution and the pickle-round-trip hardening that used to be
+  copy-pasted four times live here once: under a non-fork method every
+  new payload digest is verified to survive ``pickle.loads`` in the
+  parent before any worker sees it, so an unpicklable payload fails
+  fast with a clear error instead of crashing inside queue machinery.
+* **Per-worker payload caching keyed by content digest** — a payload
+  (optimizer + space, bouquet, campaign config) is pickled once per
+  call, hashed, and shipped to each worker at most once per digest;
+  subsequent calls with a byte-identical payload ship nothing.  Workers
+  keep the decoded object plus a derived-state memo
+  (:meth:`WorkerContext.memo`), so e.g. a campaign environment is
+  rebuilt once per worker per config, not once per chunk.
+* **Deterministic reassembly** — tasks carry their submission index and
+  results are reassembled by that index, so the caller sees exactly the
+  submission order regardless of which worker finished what when
+  (work-stealing off a single shared task queue).  Since every task's
+  output is a pure function of ``(payload, item)``, index-sorted
+  reassembly makes results bit-identical at any worker count.
+
+Telemetry lands on the tracer passed to :meth:`WorkerPool.run` under
+the ``par.*`` namespace: pool reuse, payload ships vs. cache hits,
+shipped bytes, per-task latency (worker-measured), task counts.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing as mp
+import pickle
+import queue as _queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ReproError
+from ..obs.tracer import NULL_TRACER, Tracer
+from .shm import release_segments
+
+__all__ = [
+    "ParError",
+    "PoolStats",
+    "WorkerContext",
+    "WorkerPool",
+    "encode_payload",
+    "get_pool",
+    "shutdown_pools",
+]
+
+
+class ParError(ReproError):
+    """The parallel substrate failed (dead worker, bad payload, misuse)."""
+
+
+def encode_payload(payload: Any) -> Tuple[str, bytes]:
+    """Pickle ``payload`` and return ``(content digest, blob)``.
+
+    The digest is the payload-cache key: two calls whose payloads pickle
+    to the same bytes share one per-worker decode.  Shared-memory planes
+    (:class:`repro.par.shm.ShmArray`) pickle by segment name, so a
+    bouquet re-wrapped around the same exported planes digests stably.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest(), blob
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class WorkerContext:
+    """Per-worker state handed to every task function.
+
+    ``memo(name, builder)`` caches derived state under ``(current
+    payload digest, name)`` — e.g. the campaign environment built from a
+    config, which survives across chunks and across calls for as long as
+    the payload bytes stay identical.
+    """
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.payload_digest: Optional[str] = None
+        self._memo: Dict[Tuple[Optional[str], str], Any] = {}
+
+    def memo(self, name: str, builder: Callable[[], Any]) -> Any:
+        key = (self.payload_digest, name)
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = builder()
+            self._memo[key] = value
+            return value
+
+
+def _worker_main(worker_id: int, ctrl, tasks, results) -> None:
+    """Worker loop: steal tasks, decode payloads on first sight, reply.
+
+    Workers never trace: payload pickling already degraded any embedded
+    tracer to the null tracer (``Tracer.__reduce__``), and the parent
+    records fan-out/latency telemetry itself.  Payload blobs arrive on
+    this worker's private control queue strictly before any task naming
+    their digest is enqueued, so the drain loop below always terminates.
+    """
+    ctx = WorkerContext(worker_id)
+    payloads: Dict[Optional[str], Any] = {None: None}
+    try:
+        while True:
+            item = tasks.get()
+            if item is None:
+                break
+            seq, digest, fn, arg = item
+            while digest not in payloads:
+                shipped, blob = ctrl.get()
+                payloads[shipped] = pickle.loads(blob)
+            ctx.payload_digest = digest
+            started = time.perf_counter()
+            try:
+                value = fn(ctx, payloads[digest], arg)
+            except Exception:
+                results.put((seq, False, traceback.format_exc(), 0.0))
+            else:
+                results.put((seq, True, value, time.perf_counter() - started))
+    except KeyboardInterrupt:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """Parent-side counters (mirrored into ``par.*`` tracer telemetry)."""
+
+    runs: int = 0
+    tasks: int = 0
+    payload_ships: int = 0
+    payload_hits: int = 0
+    ship_bytes: int = 0
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of runs that reused an already-warm pool."""
+        return (self.runs - 1) / self.runs if self.runs > 0 else 0.0
+
+
+def _resolve_start_method(start_method: Optional[str]) -> str:
+    methods = mp.get_all_start_methods()
+    if start_method is None:
+        return "fork" if "fork" in methods else "spawn"
+    if start_method not in methods:
+        raise ParError(
+            f"start method {start_method!r} unavailable (have {methods})"
+        )
+    return start_method
+
+
+class WorkerPool:
+    """A persistent pool of worker processes around shared queues.
+
+    One shared task queue (workers steal), one shared result queue, and
+    one private control queue per worker (payload broadcast).  Not
+    thread-safe: one ``run`` at a time, as at the four call sites.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if workers < 1:
+            raise ParError("WorkerPool needs workers >= 1")
+        self.workers = workers
+        self.start_method = _resolve_start_method(start_method)
+        self.stats = PoolStats()
+        self._mp = mp.get_context(self.start_method)
+        self._tasks = self._mp.Queue()
+        self._results = self._mp.Queue()
+        self._ctrl = [self._mp.Queue() for _ in range(workers)]
+        self._procs: List[Any] = []
+        self._shipped: List[Set[str]] = [set() for _ in range(workers)]
+        self._verified: Set[str] = set()
+        self._broken = False
+        self._closed = False
+        self._spawn_tracer = tracer
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not (self._closed or self._broken)
+
+    def _ensure_started(self, tracer: Tracer) -> None:
+        if self._procs:
+            return
+        started = time.perf_counter()
+        for wid in range(self.workers):
+            proc = self._mp.Process(
+                target=_worker_main,
+                args=(wid, self._ctrl[wid], self._tasks, self._results),
+                daemon=True,
+                name=f"repro-par-{self.start_method}-{wid}",
+            )
+            proc.start()
+            self._procs.append(proc)
+        if tracer.enabled:
+            tracer.count("par.pool.starts")
+            tracer.observe("par.pool.start_seconds", time.perf_counter() - started)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain sentinels, join, reap stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._procs:
+            for _ in self._procs:
+                self._tasks.put(None)
+            deadline = time.monotonic() + timeout
+            for proc in self._procs:
+                proc.join(max(0.1, deadline - time.monotonic()))
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(1.0)
+        self._close_queues()
+
+    def terminate(self) -> None:
+        """Hard stop (dead worker / interrupt): kill workers, free shm."""
+        self._closed = True
+        self._broken = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(1.0)
+        self._close_queues()
+        _discard_pool(self)
+        release_segments()
+
+    def _close_queues(self) -> None:
+        for q in [self._tasks, self._results, *self._ctrl]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        payload: Any,
+        items: Sequence[Any],
+        tracer: Tracer = NULL_TRACER,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Evaluate ``fn(ctx, payload, item)`` for every item.
+
+        Returns results in submission (item) order.  ``on_result(seq,
+        value)`` streams completions as they land, in completion order.
+        A task exception is re-raised here (lowest submission index
+        first) after the batch drains, so the pool stays reusable; a
+        *dead* worker breaks the pool and raises immediately.
+        """
+        items = list(items)
+        if not self.alive:
+            raise ParError("worker pool is closed")
+        if not items:
+            return []
+        try:
+            self._ensure_started(tracer)
+            self.stats.runs += 1
+            if tracer.enabled:
+                tracer.count("par.pool.runs")
+                if self.stats.runs > 1:
+                    tracer.count("par.pool.reuse")
+            digest = self._ship_payload(payload, tracer)
+            for seq, item in enumerate(items):
+                self._tasks.put((seq, digest, fn, item))
+            return self._collect(len(items), tracer, on_result)
+        except KeyboardInterrupt:
+            self.terminate()
+            raise
+
+    def _ship_payload(self, payload: Any, tracer: Tracer) -> Optional[str]:
+        if payload is None:
+            return None
+        digest, blob = encode_payload(payload)
+        if self.start_method != "fork" and digest not in self._verified:
+            try:
+                pickle.loads(blob)
+            except Exception as exc:
+                raise ParError(
+                    "payload does not survive a pickle round trip under "
+                    f"the {self.start_method!r} start method: {exc}"
+                ) from exc
+            self._verified.add(digest)
+        ships = 0
+        for wid in range(self.workers):
+            if digest not in self._shipped[wid]:
+                self._ctrl[wid].put((digest, blob))
+                self._shipped[wid].add(digest)
+                ships += 1
+        hits = self.workers - ships
+        self.stats.payload_ships += ships
+        self.stats.payload_hits += hits
+        self.stats.ship_bytes += len(blob) * ships
+        if tracer.enabled:
+            if ships:
+                tracer.count("par.payload.ships", ships)
+                tracer.observe("par.payload.ship_bytes", float(len(blob) * ships))
+            if hits:
+                tracer.count("par.payload.cache_hits", hits)
+        return digest
+
+    def _collect(
+        self,
+        expected: int,
+        tracer: Tracer,
+        on_result: Optional[Callable[[int, Any], None]],
+    ) -> List[Any]:
+        out: List[Any] = [None] * expected
+        failures: List[Tuple[int, str]] = []
+        done = 0
+        while done < expected:
+            try:
+                seq, ok, value, elapsed = self._results.get(timeout=0.5)
+            except _queue.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    codes = sorted({p.exitcode for p in dead})
+                    self.terminate()
+                    raise ParError(
+                        f"{len(dead)} worker(s) died mid-run "
+                        f"(exit codes {codes}); pool terminated"
+                    )
+                continue
+            done += 1
+            self.stats.tasks += 1
+            if tracer.enabled:
+                tracer.count("par.tasks")
+            if not ok:
+                failures.append((seq, value))
+                continue
+            if tracer.enabled:
+                tracer.observe("par.task_seconds", elapsed)
+            out[seq] = value
+            if on_result is not None:
+                on_result(seq, value)
+        if failures:
+            failures.sort()
+            seq, tb = failures[0]
+            raise ParError(f"task {seq} failed in a pool worker:\n{tb}")
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Process-global pool registry
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[Tuple[str, int], WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(
+    workers: int,
+    start_method: Optional[str] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> WorkerPool:
+    """The shared persistent pool for ``(start method, worker count)``.
+
+    Broken/closed pools are transparently replaced; callers never cache
+    the returned object across calls — re-resolving is how they pick up
+    a replacement after a crash.
+    """
+    method = _resolve_start_method(start_method)
+    key = (method, workers)
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and pool.alive:
+            return pool
+        pool = WorkerPool(workers, start_method=method, tracer=tracer)
+        _POOLS[key] = pool
+        return pool
+
+
+def _discard_pool(pool: WorkerPool) -> None:
+    with _POOLS_LOCK:
+        for key, candidate in list(_POOLS.items()):
+            if candidate is pool:
+                del _POOLS[key]
+
+
+def shutdown_pools() -> None:
+    """Close every registered pool and unlink every shm segment."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.close()
+    release_segments()
+
+
+atexit.register(shutdown_pools)

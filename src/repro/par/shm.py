@@ -1,0 +1,182 @@
+"""Shared-memory numpy planes for the parallel substrate.
+
+Large read-only arrays — ``PlanCostCache`` cost fields, plan-diagram
+plan-id/cost matrices, sweep cohort inputs — used to ride inside the
+pickled worker payload, costing one serialize + one deserialize + one
+resident copy *per worker per call*.  Here they are exported once into
+POSIX shared memory (``multiprocessing.shared_memory``) and the payload
+carries only ``(segment name, shape, dtype)``: workers map the segment
+and read the plane zero-copy.
+
+Lifecycle is strictly parent-owned:
+
+* :func:`export_array` copies an array into a fresh segment and returns
+  a :class:`ShmArray` view.  The parent-side :class:`SegmentRegistry`
+  keeps the segment (and the source array, so ``id()`` keying stays
+  valid) alive — repeated exports of the *same* array object reuse the
+  same segment, which keeps payload pickle bytes (and therefore the
+  payload digest) stable across calls.
+* Workers attaching a segment immediately *unregister* it from their
+  ``resource_tracker``: the parent unlinks, so a worker-side tracker
+  entry would only produce spurious "leaked shared_memory" warnings and
+  double-unlink races at worker exit.
+* :func:`release_segments` (called by ``shutdown_pools`` and on pool
+  teardown/interrupt) closes and unlinks everything.  The bench and the
+  lifecycle tests assert ``/dev/shm`` holds none of our segments after
+  shutdown — segments are namespaced ``repro_par_*`` to make that
+  auditable.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "ShmArray",
+    "export_array",
+    "release_segments",
+    "live_segment_names",
+    "leaked_segments",
+]
+
+_PREFIX = "repro_par_"
+
+
+def _attach_plane(name: str, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+    """Worker-side reconstruction: map the segment, return a frozen view.
+
+    The mapped :class:`~multiprocessing.shared_memory.SharedMemory` is
+    cached per segment name so repeated payloads referencing the same
+    plane share one mapping.  The returned array is a *plain* read-only
+    ndarray (not a :class:`ShmArray`): if a worker ever re-pickles a
+    derived slice it serializes values, never a dangling segment name.
+    """
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        # The parent owns unlink.  Python 3.11's SharedMemory has no
+        # track= knob and registers every attach with the resource
+        # tracker, whose per-type cache is a *set* — under fork the
+        # worker shares the parent's tracker, the duplicate register
+        # collapses, and the eventual double unregister raises in the
+        # tracker process.  Suppress registration for the attach instead.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _ATTACHED[name] = shm
+    array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    array.flags.writeable = False
+    return array
+
+
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+class ShmArray(np.ndarray):
+    """An ndarray view over a shared-memory segment that pickles by name.
+
+    In the parent it behaves exactly like the source array (same values,
+    same dtype/shape, read-only).  Pickling it — which only happens when
+    it is embedded in a worker payload — emits the ``(name, shape,
+    dtype)`` triple instead of the buffer, so shipping a bouquet whose
+    cost planes are ``ShmArray`` views costs bytes proportional to the
+    metadata, not the grids.
+    """
+
+    _shm_name: str
+
+    def __reduce__(self):
+        return (_attach_plane, (self._shm_name, self.shape, self.dtype.str))
+
+
+class SegmentRegistry:
+    """Parent-side owner of every exported segment."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # id(source) -> (source ref, ShmArray view, SharedMemory)
+        self._by_source: Dict[int, Tuple[np.ndarray, ShmArray, shared_memory.SharedMemory]] = {}
+
+    def export(self, array: np.ndarray, tracer: Tracer = NULL_TRACER) -> ShmArray:
+        with self._lock:
+            entry = self._by_source.get(id(array))
+            if entry is not None and entry[0] is array:
+                return entry[1]
+        source = np.ascontiguousarray(array)
+        name = _PREFIX + secrets.token_hex(8)
+        shm = shared_memory.SharedMemory(name=name, create=True, size=source.nbytes)
+        plane = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+        plane[...] = source
+        view = plane.view(ShmArray)
+        view._shm_name = shm.name
+        view.flags.writeable = False
+        if tracer.enabled:
+            tracer.count("par.shm.exports")
+            tracer.observe("par.shm.bytes", float(source.nbytes))
+        with self._lock:
+            self._by_source[id(array)] = (array, view, shm)
+        return view
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return [shm.name for _, _, shm in self._by_source.values()]
+
+    def release(self) -> None:
+        with self._lock:
+            entries = list(self._by_source.values())
+            self._by_source.clear()
+        for _, view, shm in entries:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass  # already gone (e.g. an interrupted earlier release)
+
+
+_REGISTRY = SegmentRegistry()
+
+
+def export_array(array: np.ndarray, tracer: Tracer = NULL_TRACER) -> ShmArray:
+    """Export ``array`` into shared memory (idempotent per array object)."""
+    if isinstance(array, ShmArray):
+        return array
+    return _REGISTRY.export(array, tracer)
+
+
+def live_segment_names() -> List[str]:
+    """Names of segments currently owned by this process's registry."""
+    return _REGISTRY.names()
+
+
+def release_segments() -> None:
+    """Close + unlink every segment this process exported."""
+    _REGISTRY.release()
+
+
+def leaked_segments() -> List[str]:
+    """``repro_par_*`` segments still visible in /dev/shm.
+
+    After :func:`release_segments` this must be empty — the bench and
+    the shm lifecycle tests gate on it.  On platforms without /dev/shm
+    the scan degrades to the registry's own book-keeping.
+    """
+    root = "/dev/shm"
+    if os.path.isdir(root):
+        try:
+            return sorted(n for n in os.listdir(root) if n.startswith(_PREFIX))
+        except OSError:
+            pass
+    return _REGISTRY.names()

@@ -4,19 +4,21 @@ Cohort batching thrives on homogeneous regions; the residue — cohorts
 that split below the batching threshold, or whole sweeps under a
 non-sequential crossing strategy (whose scheduling is inherently
 per-location) — is driven through the reference per-location runner.
-With ``workers > 1`` the residue is chunked across a process pool,
-mirroring the spawn-fallback hardening of
-:func:`repro.ess.diagram._parallel_optimize`: ``fork`` is preferred so
-workers inherit the bouquet for free; otherwise an *explicit* ``spawn``
-context is used and the initializer arguments are verified to survive a
-pickle round trip before any worker starts, so an unpicklable bouquet
-fails fast in the parent instead of crashing inside the pool machinery.
-Chunk results stream back through ``imap`` so a worker failure surfaces
-at the first affected chunk.
+With ``workers > 1`` the residue is chunked across the persistent
+:mod:`repro.par` pool (fork-preferred, verified-spawn fallback, payload
+pickle hardening — all centralized there).
 
-Workers never trace (a forked sink would interleave into the parent's
-file; a spawned tracer already degraded to the null tracer while
-pickling) — the parent records the fan-out instead.
+The shipped bouquet is a *shadow*: its plan-diagram matrices and every
+materialized ``PlanCostCache`` plane are exported into shared memory
+(:func:`repro.par.export_array`), so the pickled payload carries
+segment names instead of grid bytes and workers map the planes
+zero-copy.  The shadow also drops the parent-side sweep cache (a pure
+acceleration structure workers rebuild nothing from).  Chunk results
+are reassembled in submission order, so totals are identical at any
+worker count.
+
+Workers never trace (the payload's tracer degraded to the null tracer
+while pickling) — the parent records the fan-out instead.
 """
 
 from __future__ import annotations
@@ -30,8 +32,6 @@ from ..exceptions import BouquetError
 from ..obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["run_residue", "simulate_total"]
-
-_WORKER_STATE: dict = {}
 
 
 def simulate_total(
@@ -51,16 +51,43 @@ def simulate_total(
     return result.total_cost
 
 
-def _init_sweep_worker(bouquet: PlanBouquet, crossing: Optional[str]):
-    # See module docstring: residue workers run untraced.
-    bouquet.cost_cache.optimizer.tracer = NULL_TRACER
-    _WORKER_STATE["bouquet"] = bouquet
-    _WORKER_STATE["crossing"] = crossing
+def _shm_payload(bouquet: PlanBouquet, tracer: Tracer) -> PlanBouquet:
+    """A lean bouquet copy whose grid planes live in shared memory.
+
+    The diagram's plan-id/cost matrices and all materialized cost-cache
+    planes become :class:`~repro.par.ShmArray` views that pickle by
+    segment name.  Exports are idempotent per source array, so repeated
+    residue calls over the same bouquet produce byte-identical payloads
+    and hit the per-worker payload cache.
+    """
+    from ..ess.diagram import PlanCostCache, PlanDiagram
+    from ..par import export_array
+
+    cache = bouquet.cost_cache
+    diagram = bouquet.diagram
+    shm_cache = PlanCostCache(
+        cache.space, cache.optimizer, cache.registry, cache.max_plans
+    )
+    shm_cache.seed(
+        {
+            plan_id: export_array(array, tracer)
+            for plan_id, array in cache.snapshot().items()
+        }
+    )
+    shadow = PlanDiagram(
+        diagram.space,
+        export_array(diagram.plan_ids, tracer),
+        export_array(diagram.costs, tracer),
+        diagram.registry,
+        shm_cache,
+    )
+    # replace() also sheds the per-bouquet sweep cache — a parent-side
+    # acceleration structure workers never read.
+    return dataclasses.replace(bouquet, diagram=shadow)
 
 
-def _residue_chunk(locations: List[Location]) -> List[Tuple[Location, float]]:
-    bouquet = _WORKER_STATE["bouquet"]
-    crossing = _WORKER_STATE["crossing"]
+def _residue_chunk(ctx, payload, locations: List[Location]) -> List[Tuple[Location, float]]:
+    bouquet, crossing = payload
     return [
         (location, simulate_total(bouquet, location, crossing))
         for location in locations
@@ -84,30 +111,14 @@ def run_residue(
             for location in locations
         }
 
-    import multiprocessing as mp
-    import pickle
+    from ..par import ParError, get_pool
 
-    # The per-bouquet sweep cache is a parent-side acceleration structure;
-    # workers rebuild nothing from it, so ship a lean copy instead.
-    payload = dataclasses.replace(bouquet)
+    payload = (_shm_payload(bouquet, tracer), crossing)
     chunk_size = max(1, len(locations) // (workers * 4))
     chunks = [
         locations[i : i + chunk_size]
         for i in range(0, len(locations), chunk_size)
     ]
-    if "fork" in mp.get_all_start_methods():
-        ctx = mp.get_context("fork")
-    else:
-        ctx = mp.get_context("spawn")
-        try:
-            restored = pickle.loads(pickle.dumps((payload, crossing)))
-        except Exception as exc:
-            raise BouquetError(
-                "sweep residue sharding needs a picklable PlanBouquet "
-                f"under the spawn start method: {exc}"
-            ) from exc
-        if len(restored) != 2:
-            raise BouquetError("initargs pickle round trip lost arguments")
     if tracer.enabled:
         tracer.event(
             "sweep.residue_fanout",
@@ -118,12 +129,12 @@ def run_residue(
         tracer.observe(
             "sweep.worker_utilization", min(len(chunks), workers) / workers
         )
+    pool = get_pool(workers, tracer=tracer)
+    try:
+        results = pool.run(_residue_chunk, payload, chunks, tracer=tracer)
+    except ParError as exc:
+        raise BouquetError(f"sweep residue sharding failed: {exc}") from exc
     totals: Dict[Location, float] = {}
-    with ctx.Pool(
-        processes=workers,
-        initializer=_init_sweep_worker,
-        initargs=(payload, crossing),
-    ) as pool:
-        for chunk_result in pool.imap(_residue_chunk, chunks):
-            totals.update(chunk_result)
+    for chunk_result in results:
+        totals.update(chunk_result)
     return totals

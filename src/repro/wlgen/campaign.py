@@ -391,20 +391,14 @@ class CampaignReport:
 # Sharded execution
 # ---------------------------------------------------------------------------
 
-_WORKER_STATE: dict = {}
 
-
-def _init_campaign_worker(config: CampaignConfig):
-    # Workers rebuild the deterministic environment from the config and
-    # never trace — mirroring the POSP pool, where a forked tracer sink
-    # would interleave writes into the parent's file.
-    _WORKER_STATE["config"] = config
-    _WORKER_STATE["env"] = build_env(config, tracer=NULL_TRACER)
-
-
-def _run_chunk(indices: List[int]) -> List[QueryOutcome]:
-    env = _WORKER_STATE["env"]
-    config = _WORKER_STATE["config"]
+def _run_chunk(ctx, config: CampaignConfig, indices: List[int]) -> List[QueryOutcome]:
+    # repro.par task: the payload is the (tiny) campaign config; the
+    # deterministic environment is rebuilt once per worker per config
+    # digest via the worker-side memo and reused across chunks *and*
+    # across campaign calls — the big win for windowed campaigns.
+    # Workers never trace (build_env pins the null tracer).
+    env = ctx.memo("env", lambda: build_env(config, tracer=NULL_TRACER))
     return [run_query(env, config, index) for index in indices]
 
 
@@ -412,12 +406,17 @@ def run_campaign(
     config: CampaignConfig,
     tracer: Optional[Tracer] = None,
     progress=None,
+    pool=None,
 ) -> CampaignReport:
     """Run the full campaign, sharded across ``config.workers`` processes.
 
     ``progress`` (optional) is called with each completed
     :class:`QueryOutcome` as shards stream in — index order within a
     shard, shards interleaved.  The report itself is order-normalized.
+    ``pool`` (optional) supplies an explicit :class:`repro.par.WorkerPool`
+    (the perf bench uses this to race ephemeral per-call pools against
+    the shared persistent one); by default the persistent pool for
+    ``config.workers`` is used.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     indices = list(range(config.count))
@@ -437,34 +436,20 @@ def run_campaign(
                 if progress is not None:
                     progress(outcome)
             return CampaignReport(config=config, outcomes=outcomes)
-        outcomes = list(_parallel_campaign(config, indices, tracer, progress))
+        outcomes = _parallel_campaign(config, indices, tracer, progress, pool)
     return CampaignReport(config=config, outcomes=outcomes)
 
 
 def _parallel_campaign(
-    config: CampaignConfig, indices: List[int], tracer: Tracer, progress
-):
-    """The fork-preferred / explicit-spawn pool, as in parallel POSP."""
-    import multiprocessing as mp
-    import pickle
+    config: CampaignConfig, indices: List[int], tracer: Tracer, progress, pool
+) -> List[QueryOutcome]:
+    """Shard the index range over the persistent :mod:`repro.par` pool."""
+    from ..par import ParError, get_pool
 
     chunk_size = max(1, len(indices) // (config.workers * 4))
     chunks = [
         indices[i : i + chunk_size] for i in range(0, len(indices), chunk_size)
     ]
-    if "fork" in mp.get_all_start_methods():
-        ctx = mp.get_context("fork")
-    else:
-        ctx = mp.get_context("spawn")
-        try:
-            restored = pickle.loads(pickle.dumps(config))
-        except Exception as exc:
-            raise CampaignError(
-                "sharded campaigns need a picklable CampaignConfig under "
-                f"the spawn start method: {exc}"
-            ) from exc
-        if restored != config:
-            raise CampaignError("campaign config pickle round trip drifted")
     if tracer.enabled:
         tracer.event(
             "wlgen.campaign_fanout",
@@ -472,13 +457,17 @@ def _parallel_campaign(
             chunks=len(chunks),
             queries=len(indices),
         )
-    with ctx.Pool(
-        processes=config.workers,
-        initializer=_init_campaign_worker,
-        initargs=(config,),
-    ) as pool:
-        for chunk_result in pool.imap(_run_chunk, chunks):
+    if pool is None:
+        pool = get_pool(config.workers, tracer=tracer)
+    on_result = None
+    if progress is not None:
+        def on_result(seq, chunk_result):
             for outcome in chunk_result:
-                if progress is not None:
-                    progress(outcome)
-                yield outcome
+                progress(outcome)
+    try:
+        results = pool.run(
+            _run_chunk, config, chunks, tracer=tracer, on_result=on_result
+        )
+    except ParError as exc:
+        raise CampaignError(f"sharded campaign failed: {exc}") from exc
+    return [outcome for chunk_result in results for outcome in chunk_result]

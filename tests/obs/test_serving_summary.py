@@ -89,3 +89,32 @@ def test_front_end_counters_get_their_own_table():
 
 def test_front_end_table_absent_when_gateway_unused():
     assert "admission" not in summarize_serving(RECORDS).describe()
+
+
+def test_parallel_substrate_counters_get_their_own_table():
+    summary = summarize_serving(
+        [
+            {"type": "counter", "name": "par.pool.starts", "value": 1},
+            {"type": "counter", "name": "par.pool.runs", "value": 5},
+            {"type": "counter", "name": "par.pool.reuse", "value": 4},
+            {"type": "counter", "name": "par.tasks", "value": 40},
+            {"type": "counter", "name": "par.payload.ships", "value": 2},
+            {"type": "counter", "name": "par.payload.cache_hits", "value": 8},
+            {"type": "counter", "name": "par.shm.exports", "value": 3},
+        ]
+    )
+    assert summary.pool_runs == 5
+    assert summary.pool_reuse_rate == pytest.approx(0.8)
+    assert summary.payload_cache_hit_rate == pytest.approx(0.8)
+    text = summary.describe()
+    for needle in (
+        "parallel substrate",
+        "pool reuse rate",
+        "payload cache hits",
+        "shm planes exported",
+    ):
+        assert needle in text
+
+
+def test_parallel_substrate_table_absent_when_pool_unused():
+    assert "parallel substrate" not in summarize_serving(RECORDS).describe()

@@ -1,0 +1,139 @@
+"""Shared-memory plane lifecycle: export, attach, crash-path cleanup."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs.tracer import MemorySink, Tracer
+from repro.par import (
+    ParError,
+    ShmArray,
+    WorkerPool,
+    export_array,
+    leaked_segments,
+    live_segment_names,
+    release_segments,
+)
+
+
+def _plane_sum(ctx, payload, item):
+    return float(payload.sum()) + item
+
+
+def _plane_is_readonly(ctx, payload, item):
+    try:
+        payload[0] = -1.0
+    except ValueError:
+        return True
+    return False
+
+
+def _exit_hard(ctx, payload, item):
+    import os
+
+    os._exit(3)
+
+
+@pytest.fixture(autouse=True)
+def _clean_segments():
+    release_segments()
+    yield
+    release_segments()
+    assert leaked_segments() == []
+
+
+class TestExport:
+    def test_round_trip_preserves_values(self):
+        source = np.arange(12.0).reshape(3, 4)
+        view = export_array(source)
+        assert isinstance(view, ShmArray)
+        assert np.array_equal(view, source)
+        assert not view.flags.writeable
+        assert view._shm_name in live_segment_names()
+
+    def test_export_is_idempotent_per_array_object(self):
+        source = np.arange(6.0)
+        a = export_array(source)
+        b = export_array(source)
+        assert a._shm_name == b._shm_name
+        assert len(live_segment_names()) == 1
+        # re-exporting a ShmArray is a no-op, not a second segment
+        assert export_array(a) is a
+
+    def test_equal_but_distinct_arrays_get_distinct_segments(self):
+        a = export_array(np.zeros(4))
+        b = export_array(np.zeros(4))
+        assert a._shm_name != b._shm_name
+
+    def test_pickle_ships_name_not_buffer(self):
+        source = np.arange(4096.0)
+        view = export_array(source)
+        blob = pickle.dumps(view, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(blob) < source.nbytes // 8
+        attached = pickle.loads(blob)
+        assert np.array_equal(attached, source)
+        assert not attached.flags.writeable
+        # attached views are plain ndarrays: re-pickling one serializes
+        # values, never a segment name that the parent may unlink
+        assert not isinstance(attached, ShmArray)
+
+    def test_tracer_counts_exports(self):
+        tracer = Tracer(MemorySink())
+        export_array(np.zeros((8, 8)), tracer)
+        assert tracer.counters.get("par.shm.exports") == 1
+
+    def test_release_unlinks_everything(self):
+        export_array(np.zeros(16))
+        export_array(np.ones(16))
+        assert len(live_segment_names()) == 2
+        release_segments()
+        assert live_segment_names() == []
+        assert leaked_segments() == []
+
+
+class TestWorkerAttach:
+    def test_workers_read_planes_zero_copy(self):
+        source = np.arange(64.0).reshape(8, 8)
+        view = export_array(source)
+        pool = WorkerPool(2)
+        try:
+            totals = pool.run(_plane_sum, view, [0, 1, 2, 3])
+            assert totals == [float(source.sum()) + i for i in range(4)]
+        finally:
+            pool.close()
+
+    def test_attached_planes_are_read_only_in_workers(self):
+        view = export_array(np.arange(8.0))
+        pool = WorkerPool(1)
+        try:
+            assert pool.run(_plane_is_readonly, view, [0]) == [True]
+        finally:
+            pool.close()
+
+    def test_spawn_workers_attach_too(self):
+        source = np.arange(32.0)
+        view = export_array(source)
+        pool = WorkerPool(2, start_method="spawn")
+        try:
+            assert pool.run(_plane_sum, view, [0]) == [float(source.sum())]
+        finally:
+            pool.close()
+
+
+class TestCrashCleanup:
+    def test_worker_crash_releases_segments(self):
+        view = export_array(np.zeros(128))
+        pool = WorkerPool(2)
+        with pytest.raises(ParError, match="died mid-run"):
+            pool.run(_exit_hard, view, [0, 1])
+        # terminate() on the crash path released every exported segment
+        assert live_segment_names() == []
+        assert leaked_segments() == []
+
+    def test_terminate_releases_segments(self):
+        export_array(np.zeros(64))
+        pool = WorkerPool(1)
+        pool.run(_plane_sum, export_array(np.zeros(4)), [0])
+        pool.terminate()
+        assert leaked_segments() == []
