@@ -43,6 +43,7 @@ import queue as _queue
 import threading
 import time
 import traceback
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -63,6 +64,14 @@ __all__ = [
 
 class ParError(ReproError):
     """The parallel substrate failed (dead worker, bad payload, misuse)."""
+
+
+#: Per-worker payload-cache capacity.  The parent keeps an LRU of this
+#: many digests per worker and sends explicit eviction messages when a
+#: digest falls out, so worker-side payload/memo memory stays bounded
+#: even when a long-lived pool is fed an endless stream of distinct
+#: payloads (every mutated bouquet/config digests differently).
+PAYLOAD_CACHE_SLOTS = 8
 
 
 def encode_payload(payload: Any) -> Tuple[str, bytes]:
@@ -105,15 +114,24 @@ class WorkerContext:
             self._memo[key] = value
             return value
 
+    def _purge(self, digest: str) -> None:
+        """Drop every memo entry derived from an evicted payload digest."""
+        for key in [k for k in self._memo if k[0] == digest]:
+            del self._memo[key]
+
 
 def _worker_main(worker_id: int, ctrl, tasks, results) -> None:
     """Worker loop: steal tasks, decode payloads on first sight, reply.
 
     Workers never trace: payload pickling already degraded any embedded
     tracer to the null tracer (``Tracer.__reduce__``), and the parent
-    records fan-out/latency telemetry itself.  Payload blobs arrive on
-    this worker's private control queue strictly before any task naming
-    their digest is enqueued, so the drain loop below always terminates.
+    records fan-out/latency telemetry itself.  The control queue carries
+    ``("ship", digest, blob)`` and ``("evict", digest)`` messages; the
+    parent guarantees a digest's ship message is enqueued strictly
+    before any task naming it, so the drain loop below always
+    terminates.  Evictions mirror the parent's per-worker LRU
+    (``PAYLOAD_CACHE_SLOTS``), keeping the decoded-payload and memo
+    caches bounded for the life of a persistent worker.
     """
     ctx = WorkerContext(worker_id)
     payloads: Dict[Optional[str], Any] = {None: None}
@@ -124,8 +142,14 @@ def _worker_main(worker_id: int, ctrl, tasks, results) -> None:
                 break
             seq, digest, fn, arg = item
             while digest not in payloads:
-                shipped, blob = ctrl.get()
-                payloads[shipped] = pickle.loads(blob)
+                message = ctrl.get()
+                if message[0] == "ship":
+                    _, shipped, blob = message
+                    payloads[shipped] = pickle.loads(blob)
+                else:
+                    _, victim = message
+                    payloads.pop(victim, None)
+                    ctx._purge(victim)
             ctx.payload_digest = digest
             started = time.perf_counter()
             try:
@@ -174,15 +198,17 @@ class WorkerPool:
     """A persistent pool of worker processes around shared queues.
 
     One shared task queue (workers steal), one shared result queue, and
-    one private control queue per worker (payload broadcast).  Not
-    thread-safe: one ``run`` at a time, as at the four call sites.
+    one private control queue per worker (payload broadcast).  ``run``
+    is serialized on an internal lock: concurrent callers (e.g. the
+    serving layer's compile thread pool, whose threads all reach the one
+    shared :func:`get_pool` pool) queue up instead of interleaving
+    seq-numbered tuples on the shared task/result queues.
     """
 
     def __init__(
         self,
         workers: int,
         start_method: Optional[str] = None,
-        tracer: Tracer = NULL_TRACER,
     ):
         if workers < 1:
             raise ParError("WorkerPool needs workers >= 1")
@@ -194,11 +220,16 @@ class WorkerPool:
         self._results = self._mp.Queue()
         self._ctrl = [self._mp.Queue() for _ in range(workers)]
         self._procs: List[Any] = []
-        self._shipped: List[Set[str]] = [set() for _ in range(workers)]
+        # Parent-side mirror of each worker's payload cache: an LRU of
+        # digests, identical in policy to the worker's (evictions are
+        # pushed as control messages), so "don't re-ship" stays truthful.
+        self._shipped: List["OrderedDict[str, None]"] = [
+            OrderedDict() for _ in range(workers)
+        ]
         self._verified: Set[str] = set()
         self._broken = False
         self._closed = False
-        self._spawn_tracer = tracer
+        self._run_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -278,26 +309,30 @@ class WorkerPool:
         A task exception is re-raised here (lowest submission index
         first) after the batch drains, so the pool stays reusable; a
         *dead* worker breaks the pool and raises immediately.
+
+        Thread-safe by serialization: a second thread calling ``run``
+        blocks until the first batch fully drains.
         """
         items = list(items)
-        if not self.alive:
-            raise ParError("worker pool is closed")
-        if not items:
-            return []
-        try:
-            self._ensure_started(tracer)
-            self.stats.runs += 1
-            if tracer.enabled:
-                tracer.count("par.pool.runs")
-                if self.stats.runs > 1:
-                    tracer.count("par.pool.reuse")
-            digest = self._ship_payload(payload, tracer)
-            for seq, item in enumerate(items):
-                self._tasks.put((seq, digest, fn, item))
-            return self._collect(len(items), tracer, on_result)
-        except KeyboardInterrupt:
-            self.terminate()
-            raise
+        with self._run_lock:
+            if not self.alive:
+                raise ParError("worker pool is closed")
+            if not items:
+                return []
+            try:
+                self._ensure_started(tracer)
+                self.stats.runs += 1
+                if tracer.enabled:
+                    tracer.count("par.pool.runs")
+                    if self.stats.runs > 1:
+                        tracer.count("par.pool.reuse")
+                digest = self._ship_payload(payload, tracer)
+                for seq, item in enumerate(items):
+                    self._tasks.put((seq, digest, fn, item))
+                return self._collect(len(items), tracer, on_result)
+            except KeyboardInterrupt:
+                self.terminate()
+                raise
 
     def _ship_payload(self, payload: Any, tracer: Tracer) -> Optional[str]:
         if payload is None:
@@ -314,10 +349,19 @@ class WorkerPool:
             self._verified.add(digest)
         ships = 0
         for wid in range(self.workers):
-            if digest not in self._shipped[wid]:
-                self._ctrl[wid].put((digest, blob))
-                self._shipped[wid].add(digest)
-                ships += 1
+            cache = self._shipped[wid]
+            if digest in cache:
+                cache.move_to_end(digest)
+                continue
+            cache[digest] = None
+            # Evictions go on the wire *before* the ship so the worker
+            # frees the old payload/memo in the same drain that decodes
+            # the new one.
+            while len(cache) > PAYLOAD_CACHE_SLOTS:
+                victim, _ = cache.popitem(last=False)
+                self._ctrl[wid].put(("evict", victim))
+            self._ctrl[wid].put(("ship", digest, blob))
+            ships += 1
         hits = self.workers - ships
         self.stats.payload_ships += ships
         self.stats.payload_hits += hits
@@ -338,6 +382,7 @@ class WorkerPool:
     ) -> List[Any]:
         out: List[Any] = [None] * expected
         failures: List[Tuple[int, str]] = []
+        callback_error: Optional[Exception] = None
         done = 0
         while done < expected:
             try:
@@ -362,8 +407,16 @@ class WorkerPool:
             if tracer.enabled:
                 tracer.observe("par.task_seconds", elapsed)
             out[seq] = value
-            if on_result is not None:
-                on_result(seq, value)
+            if on_result is not None and callback_error is None:
+                # A raising callback must not abandon in-flight results
+                # on the shared queue — a later run would consume them
+                # as its own.  Finish the drain, then re-raise.
+                try:
+                    on_result(seq, value)
+                except Exception as exc:
+                    callback_error = exc
+        if callback_error is not None:
+            raise callback_error
         if failures:
             failures.sort()
             seq, tb = failures[0]
@@ -396,7 +449,9 @@ def get_pool(
         pool = _POOLS.get(key)
         if pool is not None and pool.alive:
             return pool
-        pool = WorkerPool(workers, start_method=method, tracer=tracer)
+        pool = WorkerPool(workers, start_method=method)
+        if tracer.enabled:
+            tracer.count("par.pool.created")
         _POOLS[key] = pool
         return pool
 

@@ -2,6 +2,7 @@
 
 import os
 import pickle
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -13,6 +14,7 @@ from repro.par import (
     leaked_segments,
     shutdown_pools,
 )
+from repro.par.pool import PAYLOAD_CACHE_SLOTS
 
 
 # --- task functions (module-level: picklable under spawn) -----------------
@@ -44,6 +46,20 @@ def _memoed_token(ctx, payload, item):
     # The memo builder runs once per (worker, payload digest); every task
     # under the same digest must observe the identical object.
     return id(ctx.memo("token", object))
+
+
+_MEMO_BUILDS = {"count": 0}
+
+
+def _memo_build_count(ctx, payload, item):
+    # Worker-global build counter: the memo value records which build
+    # produced it, so a purged-then-rebuilt memo is distinguishable from
+    # a retained one without relying on object identity.
+    def build():
+        _MEMO_BUILDS["count"] += 1
+        return _MEMO_BUILDS["count"]
+
+    return ctx.memo("generation", build)
 
 
 def _worker_pid(ctx, payload, item):
@@ -100,6 +116,43 @@ class TestRunSemantics:
             pool.close()
 
 
+class TestConcurrency:
+    def test_concurrent_runs_from_threads_do_not_interleave(self):
+        # The serving layer's compile executor reaches one shared pool
+        # from several threads at once; run() must serialize so the
+        # seq-numbered result streams cannot cross-assign.
+        pool = WorkerPool(2)
+        try:
+            def batch(k):
+                payload = {"a": k, "b": k}
+                return pool.run(_affine, payload, list(range(25)))
+
+            with ThreadPoolExecutor(max_workers=4) as pex:
+                rosters = list(pex.map(batch, range(8)))
+            for k, roster in enumerate(rosters):
+                assert roster == [k * i + k for i in range(25)]
+        finally:
+            pool.close()
+
+
+class TestOnResultFailure:
+    def test_raising_callback_drains_batch_and_pool_survives(self):
+        pool = WorkerPool(2)
+        try:
+            def explode(seq, value):
+                raise RuntimeError("progress sink broke")
+
+            with pytest.raises(RuntimeError, match="progress sink broke"):
+                pool.run(_affine, {"a": 1, "b": 0}, list(range(12)), on_result=explode)
+            # the batch fully drained: the next run must see only its
+            # own results, in order, with no stale tuples cross-wired
+            assert pool.run(_affine, {"a": 2, "b": 1}, list(range(6))) == [
+                2 * i + 1 for i in range(6)
+            ]
+        finally:
+            pool.close()
+
+
 class TestPayloadCache:
     def test_payload_ships_once_per_worker_per_digest(self):
         pool = WorkerPool(2)
@@ -127,6 +180,43 @@ class TestPayloadCache:
             # a different payload digest gets a fresh memo entry
             other = pool.run(_memoed_token, "cfg2", [0])
             assert other[0] != first[0]
+        finally:
+            pool.close()
+
+    def test_payload_cache_evicts_beyond_slots_and_reships(self):
+        pool = WorkerPool(1)
+        try:
+            # Stream more distinct payloads than the cache holds …
+            for k in range(PAYLOAD_CACHE_SLOTS + 1):
+                assert pool.run(_affine, {"a": k, "b": 0}, [1]) == [k]
+            ships = pool.stats.payload_ships
+            assert ships == PAYLOAD_CACHE_SLOTS + 1
+            # … the oldest digest was evicted (parent and worker agree),
+            # so re-running it ships again instead of hanging the worker
+            assert pool.run(_affine, {"a": 0, "b": 0}, [2, 3]) == [0, 0]
+            assert pool.stats.payload_ships == ships + 1
+            # while a still-cached digest is a pure hit
+            hits = pool.stats.payload_hits
+            assert pool.run(
+                _affine, {"a": PAYLOAD_CACHE_SLOTS, "b": 0}, [1]
+            ) == [PAYLOAD_CACHE_SLOTS]
+            assert pool.stats.payload_ships == ships + 1
+            assert pool.stats.payload_hits == hits + 1
+        finally:
+            pool.close()
+
+    def test_memo_entries_die_with_evicted_payloads(self):
+        pool = WorkerPool(1)
+        try:
+            assert pool.run(_memo_build_count, "cfg-0", [0]) == [1]
+            # …and it is retained while the digest stays cached
+            assert pool.run(_memo_build_count, "cfg-0", [0]) == [1]
+            for k in range(1, PAYLOAD_CACHE_SLOTS + 1):
+                pool.run(_memo_build_count, f"cfg-{k}", [0])
+            # "cfg-0" was evicted with its memo: the builder runs again
+            assert pool.run(_memo_build_count, "cfg-0", [0]) == [
+                PAYLOAD_CACHE_SLOTS + 2
+            ]
         finally:
             pool.close()
 

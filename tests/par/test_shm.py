@@ -84,12 +84,40 @@ class TestExport:
         assert tracer.counters.get("par.shm.exports") == 1
 
     def test_release_unlinks_everything(self):
-        export_array(np.zeros(16))
-        export_array(np.ones(16))
+        a, b = np.zeros(16), np.ones(16)
+        views = [export_array(a), export_array(b)]
         assert len(live_segment_names()) == 2
         release_segments()
         assert live_segment_names() == []
         assert leaked_segments() == []
+        assert views  # held live through release on purpose
+
+
+class TestEviction:
+    def test_dead_source_and_view_evicts_segment(self):
+        # Nothing holds the source or the view after the statement:
+        # the segment must be gone without any explicit release.
+        export_array(np.zeros(1024))
+        assert live_segment_names() == []
+        assert leaked_segments() == []
+
+    def test_live_view_pins_segment_after_source_dies(self):
+        view = export_array(np.arange(32.0))
+        # source (the temporary) is dead; the view still names the
+        # segment, so it must stay linked for in-flight payloads
+        assert view._shm_name in live_segment_names()
+        name = view._shm_name
+        del view
+        assert name not in live_segment_names()
+
+    def test_live_source_keeps_segment_name_stable_across_dead_views(self):
+        source = np.arange(64.0)
+        first = export_array(source)._shm_name
+        # the first view is dead now, but the source lives: re-export
+        # must reuse the same segment so payload digests stay stable
+        second = export_array(source)._shm_name
+        assert first == second
+        assert live_segment_names() == [first]
 
 
 class TestWorkerAttach:
